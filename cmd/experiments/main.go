@@ -1,0 +1,32 @@
+// Command experiments regenerates every experiment table (E1–E13) that
+// EXPERIMENTS.md records: one per figure/theorem of the paper. Output is
+// deterministic markdown; redirect it to refresh the file:
+//
+//	go run ./cmd/experiments > EXPERIMENTS_tables.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E6,E9); default all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	for _, table := range experiments.All() {
+		if len(want) > 0 && !want[table.ID] {
+			continue
+		}
+		fmt.Println(table.Markdown())
+	}
+}

@@ -1,0 +1,320 @@
+// Package hds (Homonymous Distributed Systems) is the public face of this
+// repository: a library reproducing "Failure Detectors in Homonymous
+// Distributed Systems (with an Application to Consensus)" (Arévalo,
+// Fernández Anta, Imbs, Jiménez, Raynal; ICDCS 2012).
+//
+// The library provides, over a deterministic discrete-event simulator and
+// a live goroutine runtime:
+//
+//   - the homonymous failure detector classes HΩ, HΣ and ◇HP̄, with the
+//     paper's message-passing implementations (Figures 3, 6, 7), oracle
+//     implementations for adversarial testing, and trace-based property
+//     checkers for every class axiom;
+//   - the reductions between classes (Figures 1, 2, 4; Theorems 1–4;
+//     Observation 1) as executable, machine-checked transformations;
+//   - the two consensus algorithms (Figures 8 and 9) plus the anonymous
+//     baseline they derive from, with consensus-property checking.
+//
+// Quick start — solve consensus among homonymous processes under a
+// partially synchronous network, with the failure detector stack built
+// from the paper's own Figure 6 algorithm:
+//
+//	report, stats, err := hds.RunFig8(hds.Fig8Experiment{
+//		IDs:       hds.BalancedIDs(5, 2),       // 5 processes, 2 identifiers
+//		T:         2,                           // tolerate 2 crashes
+//		Crashes:   map[hds.PID]hds.Time{3: 40}, // p3 crashes at t=40
+//		Net:       hds.PartialSync{GST: 60, Delta: 3},
+//		Detectors: hds.MessagePassingDetectors, // Fig. 6 underneath
+//		Seed:      1,
+//	})
+//
+// The sub-packages under internal/ hold the implementation; this package
+// re-exports the stable surface and offers turnkey experiment runners.
+package hds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/fd/ohp"
+	"repro/internal/fd/oracle"
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Identity types and constructors.
+type (
+	// ID is a process identifier; distinct processes may share one.
+	ID = ident.ID
+	// Assignment maps each process index to its identifier.
+	Assignment = ident.Assignment
+)
+
+// Anonymous is the default identifier ⊥ of anonymous systems.
+const Anonymous = ident.Anonymous
+
+// UniqueIDs returns the classical assignment (ℓ = n).
+func UniqueIDs(n int) Assignment { return ident.Unique(n) }
+
+// AnonymousIDs returns the anonymous assignment (ℓ = 1).
+func AnonymousIDs(n int) Assignment { return ident.AnonymousN(n) }
+
+// BalancedIDs returns n processes spread evenly over l identifiers.
+func BalancedIDs(n, l int) Assignment { return ident.Balanced(n, l) }
+
+// SkewedIDs returns one identifier shared by heavy processes, the rest
+// unique.
+func SkewedIDs(n, heavy int) Assignment { return ident.Skewed(n, heavy) }
+
+// DomainIDs groups processes into named domains sharing the domain name as
+// identifier.
+func DomainIDs(sizes map[string]int) Assignment { return ident.Domains(sizes) }
+
+// RandomIDs draws each process's identifier uniformly from a space of the
+// given size — collisions model sensor motes with random identities.
+func RandomIDs(n, space int, r *rand.Rand) Assignment { return ident.Random(n, space, r) }
+
+// Simulation types.
+type (
+	// PID is a process index (formalization/observability only).
+	PID = sim.PID
+	// Time is virtual time.
+	Time = sim.Time
+	// PartialSync is the HPS network model (eventually timely links).
+	PartialSync = sim.PartialSync
+	// Async is the HAS network model (reliable asynchronous links).
+	Async = sim.Async
+	// Stats aggregates message costs of a run.
+	Stats = trace.Stats
+	// Report is the verified outcome of a consensus run.
+	Report = check.Report
+	// Value is a consensus proposal.
+	Value = core.Value
+	// LeaderInfo is the HΩ output pair (identifier, multiplicity).
+	LeaderInfo = fd.LeaderInfo
+)
+
+// Failure detector query interfaces.
+type (
+	// HOmega is the class HΩ interface.
+	HOmega = fd.HOmega
+	// HSigma is the class HΣ interface.
+	HSigma = fd.HSigma
+	// DiamondHPbar is the class ◇HP̄ interface.
+	DiamondHPbar = fd.DiamondHPbar
+)
+
+// DetectorSource selects how experiment runners build failure detectors.
+type DetectorSource int
+
+const (
+	// OracleDetectors drive detectors from the simulator's global view
+	// with a configurable stabilization time — consensus is tested against
+	// the detector class, including adversarial pre-stabilization output.
+	OracleDetectors DetectorSource = iota
+	// MessagePassingDetectors stack the paper's own implementations
+	// (Figure 6 for HΩ/◇HP̄) underneath the consensus algorithm.
+	MessagePassingDetectors
+)
+
+// Fig8Experiment describes one run of the Figure 8 consensus
+// (HAS[t < n/2, HΩ]).
+type Fig8Experiment struct {
+	IDs     Assignment
+	T       int
+	Crashes map[PID]Time
+	// Net defaults to Async{}; use PartialSync with MessagePassingDetectors.
+	Net sim.Model
+	// Detectors defaults to OracleDetectors.
+	Detectors DetectorSource
+	// Stabilize is the oracle stabilization time (OracleDetectors only).
+	Stabilize Time
+	// Adversary shapes pre-stabilization oracle output (OracleDetectors).
+	Adversary oracle.Adversary
+	// Proposals defaults to "v0".."v{n-1}".
+	Proposals []Value
+	Seed      int64
+	// Horizon caps virtual time (default 1e6).
+	Horizon Time
+}
+
+// RunFig8 executes the experiment, verifies Termination/Validity/Agreement
+// and returns the verified report plus message statistics.
+func RunFig8(e Fig8Experiment) (Report, Stats, error) {
+	n := e.IDs.N()
+	if err := validateExperiment(e.IDs, e.Crashes, e.Proposals); err != nil {
+		return Report{}, Stats{}, err
+	}
+	if e.T < 0 || 2*e.T >= n {
+		return Report{}, Stats{}, fmt.Errorf("hds: Fig8 requires 0 <= t < n/2, got t=%d n=%d", e.T, n)
+	}
+	proposals := e.Proposals
+	if proposals == nil {
+		proposals = defaultProposals(n)
+	}
+	if e.Horizon == 0 {
+		e.Horizon = 1_000_000
+	}
+	rec := &trace.Recorder{}
+	eng := sim.New(sim.Config{IDs: e.IDs, Net: e.Net, Seed: e.Seed, KnownN: true, Recorder: rec})
+	truth := fd.NewGroundTruth(e.IDs, e.Crashes)
+	world := oracle.NewWorld(truth, e.Stabilize)
+
+	insts := make([]*core.Fig8, n)
+	for i := 0; i < n; i++ {
+		node := sim.NewNode()
+		var det fd.HOmega
+		switch e.Detectors {
+		case MessagePassingDetectors:
+			d := ohp.New()
+			node.Add("ohp", d)
+			det = d
+		default:
+			d := oracle.NewHOmega(world, e.Adversary)
+			node.Add("homega", d)
+			det = d
+		}
+		insts[i] = core.NewFig8(det, e.T, proposals[i])
+		node.Add("consensus", insts[i])
+		eng.AddProcess(node)
+	}
+	for p, at := range e.Crashes {
+		eng.CrashAt(p, at)
+	}
+	eng.RunUntil(e.Horizon, func() bool { return allDecidedFig8(truth, insts) })
+
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+		if err := inst.InvariantErr(); err != nil {
+			return Report{}, rec.Stats(), fmt.Errorf("hds: internal invariant: %w", err)
+		}
+	}
+	rep, err := check.Consensus(truth, proposals, outcomes)
+	return rep, rec.Stats(), err
+}
+
+// Fig9Experiment describes one run of the Figure 9 consensus
+// (HAS[HΩ, HΣ]) or its anonymous baseline.
+type Fig9Experiment struct {
+	IDs     Assignment
+	Crashes map[PID]Time
+	Net     sim.Model
+	// AnonymousBaseline switches to the AΩ variant without the Leaders'
+	// Coordination Phase (§5.3 closing remark).
+	AnonymousBaseline bool
+	Stabilize         Time
+	Adversary         oracle.Adversary
+	Proposals         []Value
+	Seed              int64
+	Horizon           Time
+}
+
+// RunFig9 executes the experiment and verifies the consensus properties.
+// Detectors are oracle-driven: the paper's HΣ implementation (Figure 7)
+// lives in the synchronous model, so the asynchronous consensus is
+// exercised against the class (see DESIGN.md's substitution table).
+func RunFig9(e Fig9Experiment) (Report, Stats, error) {
+	n := e.IDs.N()
+	if err := validateExperiment(e.IDs, e.Crashes, e.Proposals); err != nil {
+		return Report{}, Stats{}, err
+	}
+	proposals := e.Proposals
+	if proposals == nil {
+		proposals = defaultProposals(n)
+	}
+	if e.Horizon == 0 {
+		e.Horizon = 1_000_000
+	}
+	rec := &trace.Recorder{}
+	eng := sim.New(sim.Config{IDs: e.IDs, Net: e.Net, Seed: e.Seed, Recorder: rec})
+	truth := fd.NewGroundTruth(e.IDs, e.Crashes)
+	world := oracle.NewWorld(truth, e.Stabilize)
+
+	insts := make([]*core.Fig9, n)
+	for i := 0; i < n; i++ {
+		hs := oracle.NewHSigma(world)
+		node := sim.NewNode().Add("hsigma", hs)
+		if e.AnonymousBaseline {
+			ao := oracle.NewAOmega(world, e.Adversary)
+			node.Add("aomega", ao)
+			insts[i] = core.NewFig9Anonymous(ao, hs, proposals[i])
+		} else {
+			ho := oracle.NewHOmega(world, e.Adversary)
+			node.Add("homega", ho)
+			insts[i] = core.NewFig9(ho, hs, proposals[i])
+		}
+		node.Add("consensus", insts[i])
+		eng.AddProcess(node)
+	}
+	for p, at := range e.Crashes {
+		eng.CrashAt(p, at)
+	}
+	eng.RunUntil(e.Horizon, func() bool { return allDecidedFig9(truth, insts) })
+
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+		if err := inst.InvariantErr(); err != nil {
+			return Report{}, rec.Stats(), fmt.Errorf("hds: internal invariant: %w", err)
+		}
+	}
+	rep, err := check.Consensus(truth, proposals, outcomes)
+	return rep, rec.Stats(), err
+}
+
+func allDecidedFig8(truth *fd.GroundTruth, insts []*core.Fig8) bool {
+	for _, p := range truth.Correct() {
+		if !insts[p].Decided().Decided {
+			return false
+		}
+	}
+	return true
+}
+
+func allDecidedFig9(truth *fd.GroundTruth, insts []*core.Fig9) bool {
+	for _, p := range truth.Correct() {
+		if !insts[p].Decided().Decided {
+			return false
+		}
+	}
+	return true
+}
+
+func defaultProposals(n int) []Value {
+	out := make([]Value, n)
+	for i := range out {
+		out[i] = Value(fmt.Sprintf("v%d", i))
+	}
+	return out
+}
+
+// validateExperiment rejects malformed experiment descriptions with errors
+// rather than panics: runner inputs are user-facing.
+func validateExperiment(ids Assignment, crashes map[PID]Time, proposals []Value) error {
+	if err := ids.Validate(); err != nil {
+		return fmt.Errorf("hds: %w", err)
+	}
+	n := ids.N()
+	for p, at := range crashes {
+		if int(p) < 0 || int(p) >= n {
+			return fmt.Errorf("hds: crash schedule names process %d outside [0,%d)", p, n)
+		}
+		if at < 0 {
+			return fmt.Errorf("hds: crash time %d for process %d is negative", at, p)
+		}
+	}
+	if proposals != nil && len(proposals) != n {
+		return fmt.Errorf("hds: %d proposals for %d processes", len(proposals), n)
+	}
+	for i, v := range proposals {
+		if v == core.Bottom {
+			return fmt.Errorf("hds: process %d proposes the reserved ⊥ value", i)
+		}
+	}
+	return nil
+}

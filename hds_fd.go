@@ -1,0 +1,188 @@
+package hds
+
+import (
+	"repro/internal/fd"
+	"repro/internal/fd/hsigma"
+	"repro/internal/fd/ohp"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// OHPExperiment describes one standalone run of the Figure 6 detector
+// (◇HP̄ + HΩ) in the partially synchronous system HPS.
+type OHPExperiment struct {
+	IDs     Assignment
+	Crashes map[PID]Time
+	GST     Time
+	Delta   Time
+	Seed    int64
+	// Horizon caps virtual time (default 5000).
+	Horizon Time
+}
+
+// OHPResult reports the verified detector run.
+type OHPResult struct {
+	// TrustedStabilization is the virtual time at which the last correct
+	// process's h_trusted changed for the last time (to I(Correct)).
+	TrustedStabilization Time
+	// LeaderStabilization is the analogous instant for the HΩ output.
+	LeaderStabilization Time
+	// Leader is the stabilized HΩ output.
+	Leader LeaderInfo
+	// Stats aggregates message costs over the horizon.
+	Stats Stats
+	// FinalTimeouts are the adapted per-process timeout values.
+	FinalTimeouts []Time
+}
+
+// RunOHP executes Figure 6 on every process, verifies the ◇HP̄ and HΩ
+// class properties against the ground truth, and reports stabilization
+// times and costs (experiment E6/E7).
+func RunOHP(e OHPExperiment) (OHPResult, error) {
+	if e.Horizon == 0 {
+		e.Horizon = 5000
+	}
+	if e.Delta == 0 {
+		e.Delta = 3
+	}
+	n := e.IDs.N()
+	rec := &trace.Recorder{}
+	eng := sim.New(sim.Config{
+		IDs:      e.IDs,
+		Net:      sim.PartialSync{GST: e.GST, Delta: e.Delta},
+		Seed:     e.Seed,
+		Recorder: rec,
+	})
+	dets := make([]*ohp.Detector, n)
+	for i := range dets {
+		dets[i] = ohp.New()
+		eng.AddProcess(dets[i])
+	}
+	for p, at := range e.Crashes {
+		eng.CrashAt(p, at)
+	}
+	truth := fd.NewGroundTruth(e.IDs, e.Crashes)
+	trustedProbe := fd.NewProbe(eng, n, func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
+		if eng.Crashed(p) {
+			return nil, false
+		}
+		return dets[p].Trusted(), true
+	}, func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) })
+	leaderProbe := fd.NewProbe(eng, n, func(p sim.PID) (fd.LeaderInfo, bool) {
+		if eng.Crashed(p) {
+			return fd.LeaderInfo{}, false
+		}
+		return dets[p].Leader()
+	}, func(a, b fd.LeaderInfo) bool { return a == b })
+
+	eng.Run(e.Horizon)
+
+	resT, err := fd.CheckDiamondHPbar(truth, trustedProbe)
+	if err != nil {
+		return OHPResult{}, err
+	}
+	resL, err := fd.CheckHOmega(truth, leaderProbe)
+	if err != nil {
+		return OHPResult{}, err
+	}
+	out := OHPResult{
+		TrustedStabilization: resT.StabilizationTime,
+		LeaderStabilization:  resL.StabilizationTime,
+		Stats:                rec.Stats(),
+	}
+	if correct := truth.Correct(); len(correct) > 0 {
+		out.Leader, _ = leaderProbe.Last(correct[0])
+	}
+	for _, d := range dets {
+		out.FinalTimeouts = append(out.FinalTimeouts, d.Timeout())
+	}
+	return out, nil
+}
+
+// HSigmaExperiment describes one run of the Figure 7 detector in the
+// synchronous system HSS.
+type HSigmaExperiment struct {
+	IDs Assignment
+	// CrashSteps maps process → (step, deliverProb): the process crashes
+	// during that step, its broadcast reaching each peer with deliverProb.
+	CrashSteps map[PID]CrashStep
+	Steps      int
+	Seed       int64
+}
+
+// CrashStep is a synchronous crash specification.
+type CrashStep struct {
+	Step        int
+	DeliverProb float64
+}
+
+// HSigmaResult reports the verified Figure 7 run.
+type HSigmaResult struct {
+	// StabilizationStep is the step after which outputs stopped changing.
+	StabilizationStep Time
+	// QuoraPerProcess is the final |h_quora| at each surviving process.
+	QuoraPerProcess []int
+	Stats           Stats
+}
+
+// RunHSigma executes Figure 7, verifies all four HΣ axioms, and reports
+// stabilization and quora sizes (experiment E8).
+func RunHSigma(e HSigmaExperiment) (HSigmaResult, error) {
+	if e.Steps == 0 {
+		e.Steps = 12
+	}
+	n := e.IDs.N()
+	rec := &trace.Recorder{}
+	eng := sim.NewSync(sim.SyncConfig{IDs: e.IDs, Seed: e.Seed, Recorder: rec})
+	dets := make([]*hsigma.Detector, n)
+	for i := range dets {
+		dets[i] = hsigma.New()
+		eng.AddProcess(dets[i])
+	}
+	crashTimes := make(map[sim.PID]sim.Time, len(e.CrashSteps))
+	for p, cs := range e.CrashSteps {
+		eng.CrashAtStep(p, cs.Step, cs.DeliverProb)
+		crashTimes[p] = sim.Time(cs.Step)
+	}
+	truth := fd.NewGroundTruth(e.IDs, crashTimes)
+	quora := fd.NewSyncProbe(eng, n, func(p sim.PID) ([]fd.QuorumPair, bool) {
+		if eng.Crashed(p) {
+			return nil, false
+		}
+		return dets[p].Quora(), true
+	}, quoraEq)
+	labels := fd.NewSyncProbe(eng, n, func(p sim.PID) ([]fd.Label, bool) {
+		if eng.Crashed(p) {
+			return nil, false
+		}
+		return dets[p].Labels(), true
+	}, fd.LabelsEqual)
+
+	eng.RunSteps(e.Steps)
+
+	res, err := fd.CheckHSigma(truth, quora, labels)
+	if err != nil {
+		return HSigmaResult{}, err
+	}
+	out := HSigmaResult{StabilizationStep: res.StabilizationTime, Stats: rec.Stats()}
+	for p := 0; p < n; p++ {
+		if !eng.Crashed(sim.PID(p)) {
+			out.QuoraPerProcess = append(out.QuoraPerProcess, len(dets[p].Quora()))
+		}
+	}
+	return out, nil
+}
+
+func quoraEq(a, b []fd.QuorumPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label || !a[i].M.Equal(b[i].M) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+// Package check verifies consensus executions against the problem's three
+// properties (§5.1): Termination (every correct process decides), Validity
+// (every decided value was proposed), and Agreement (no two processes
+// decide differently). It also rejects decisions on the reserved ⊥ value,
+// which Fig. 8/9 must never emit (their validity proofs hinge on it).
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// Report aggregates a verified execution's headline numbers.
+type Report struct {
+	Value         core.Value
+	MaxRound      int      // largest decision round among deciders
+	LastDecision  sim.Time // virtual time of the last correct decision
+	FirstDecision sim.Time
+	Deciders      int
+}
+
+// Consensus verifies one execution: outcomes[p] is process p's outcome,
+// proposals[p] its proposal, truth the fault pattern. Crashed processes may
+// or may not have decided; if they did, their decisions must still agree
+// (uniform agreement, which both algorithms provide via the PH2 quorum
+// logic and which the paper's Agreement property demands for all decided
+// values).
+func Consensus(truth *fd.GroundTruth, proposals []core.Value, outcomes []core.Outcome) (Report, error) {
+	if len(proposals) != len(outcomes) {
+		return Report{}, fmt.Errorf("check: %d proposals vs %d outcomes", len(proposals), len(outcomes))
+	}
+	proposed := make(map[core.Value]bool, len(proposals))
+	for _, v := range proposals {
+		proposed[v] = true
+	}
+
+	var rep Report
+	var decidedVal core.Value
+	haveVal := false
+	for p, out := range outcomes {
+		if !out.Decided {
+			continue
+		}
+		if out.Value == core.Bottom {
+			return Report{}, fmt.Errorf("check: process %d decided ⊥", p)
+		}
+		if !proposed[out.Value] {
+			return Report{}, fmt.Errorf("check: validity violated — process %d decided %q, never proposed", p, out.Value)
+		}
+		if haveVal && out.Value != decidedVal {
+			return Report{}, fmt.Errorf("check: agreement violated — %q vs %q", decidedVal, out.Value)
+		}
+		decidedVal, haveVal = out.Value, true
+		rep.Deciders++
+		if out.Round > rep.MaxRound {
+			rep.MaxRound = out.Round
+		}
+		if rep.FirstDecision == 0 || out.Time < rep.FirstDecision {
+			rep.FirstDecision = out.Time
+		}
+	}
+
+	for _, p := range truth.Correct() {
+		out := outcomes[p]
+		if !out.Decided {
+			return Report{}, fmt.Errorf("check: termination violated — correct process %d did not decide", p)
+		}
+		if out.Time > rep.LastDecision {
+			rep.LastDecision = out.Time
+		}
+	}
+	rep.Value = decidedVal
+	return rep, nil
+}

@@ -1,0 +1,80 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+func truth(n int, crashed ...sim.PID) *fd.GroundTruth {
+	ct := make(map[sim.PID]sim.Time)
+	for _, p := range crashed {
+		ct[p] = 10
+	}
+	return fd.NewGroundTruth(ident.Unique(n), ct)
+}
+
+func dec(v core.Value, round int, at sim.Time) core.Outcome {
+	return core.Outcome{Decided: true, Value: v, Round: round, Time: at}
+}
+
+func TestConsensusHappyPath(t *testing.T) {
+	g := truth(3, 1)
+	props := []core.Value{"a", "b", "c"}
+	outs := []core.Outcome{dec("b", 2, 50), {}, dec("b", 1, 40)}
+	rep, err := Consensus(g, props, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Value != "b" || rep.Deciders != 2 || rep.MaxRound != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.FirstDecision != 40 || rep.LastDecision != 50 {
+		t.Errorf("decision times = %d..%d", rep.FirstDecision, rep.LastDecision)
+	}
+}
+
+func TestConsensusViolations(t *testing.T) {
+	g := truth(3)
+	props := []core.Value{"a", "b", "c"}
+	tests := []struct {
+		name string
+		outs []core.Outcome
+		want string
+	}{
+		{"termination", []core.Outcome{dec("a", 1, 5), dec("a", 1, 5), {}}, "termination"},
+		{"agreement", []core.Outcome{dec("a", 1, 5), dec("b", 1, 5), dec("a", 1, 5)}, "agreement"},
+		{"validity", []core.Outcome{dec("z", 1, 5), dec("z", 1, 5), dec("z", 1, 5)}, "validity"},
+		{"bottom", []core.Outcome{dec(core.Bottom, 1, 5), dec(core.Bottom, 1, 5), dec(core.Bottom, 1, 5)}, "⊥"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Consensus(g, props, tt.outs)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("err = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestConsensusCrashedDeciderMustAgree(t *testing.T) {
+	// Uniform agreement: a process that decided before crashing still
+	// counts.
+	g := truth(3, 0)
+	props := []core.Value{"a", "b", "c"}
+	outs := []core.Outcome{dec("a", 1, 5), dec("b", 1, 9), dec("b", 1, 9)}
+	if _, err := Consensus(g, props, outs); err == nil {
+		t.Error("disagreeing crashed decider accepted")
+	}
+}
+
+func TestConsensusLengthMismatch(t *testing.T) {
+	g := truth(2)
+	if _, err := Consensus(g, []core.Value{"a"}, make([]core.Outcome, 2)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}

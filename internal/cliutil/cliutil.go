@@ -1,0 +1,60 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ParseCrashes parses a crash schedule of the form "pid:time[,pid:time...]"
+// (e.g. "1:30,4:120"). An empty or blank string yields an empty schedule.
+func ParseCrashes(s string) (map[sim.PID]sim.Time, error) {
+	out := make(map[sim.PID]sim.Time)
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		pidTime := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(pidTime) != 2 {
+			return nil, fmt.Errorf("bad crash spec %q (want pid:time)", part)
+		}
+		pid, err := strconv.Atoi(pidTime[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad pid in %q: %v", part, err)
+		}
+		if pid < 0 {
+			return nil, fmt.Errorf("negative pid in %q", part)
+		}
+		at, err := strconv.ParseInt(pidTime[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in %q: %v", part, err)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("negative time in %q", part)
+		}
+		if _, dup := out[sim.PID(pid)]; dup {
+			return nil, fmt.Errorf("duplicate pid %d in schedule", pid)
+		}
+		out[sim.PID(pid)] = at
+	}
+	return out, nil
+}
+
+// FormatTagCounts renders a message-tag count map deterministically, e.g.
+// "COORD:5 PH1:10".
+func FormatTagCounts(byTag map[string]int) string {
+	keys := make([]string, 0, len(byTag))
+	for k := range byTag {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, byTag[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseCrashes(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    map[sim.PID]sim.Time
+		wantErr bool
+	}{
+		{"", map[sim.PID]sim.Time{}, false},
+		{"   ", map[sim.PID]sim.Time{}, false},
+		{"1:30", map[sim.PID]sim.Time{1: 30}, false},
+		{"1:30,4:120", map[sim.PID]sim.Time{1: 30, 4: 120}, false},
+		{" 2:5 , 3:9 ", map[sim.PID]sim.Time{2: 5, 3: 9}, false},
+		{"1", nil, true},
+		{"x:30", nil, true},
+		{"1:y", nil, true},
+		{"-1:30", nil, true},
+		{"1:-30", nil, true},
+		{"1:30,1:40", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseCrashes(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseCrashes(%q) = %v, want error", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCrashes(%q): %v", tt.in, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("ParseCrashes(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for p, at := range tt.want {
+			if got[p] != at {
+				t.Errorf("ParseCrashes(%q)[%d] = %d, want %d", tt.in, p, got[p], at)
+			}
+		}
+	}
+}
+
+func TestFormatTagCounts(t *testing.T) {
+	got := FormatTagCounts(map[string]int{"PH1": 10, "COORD": 5})
+	if got != "COORD:5 PH1:10" {
+		t.Errorf("FormatTagCounts = %q", got)
+	}
+	if got := FormatTagCounts(nil); got != "" {
+		t.Errorf("FormatTagCounts(nil) = %q", got)
+	}
+}

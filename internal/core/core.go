@@ -1,0 +1,175 @@
+// Package core implements the paper's two consensus algorithms for
+// homonymous asynchronous systems (§5):
+//
+//   - Fig8: consensus in HAS[t < n/2, HΩ] — the system size n is known, a
+//     majority of processes is correct, and the only failure detector is a
+//     detector of class HΩ (Theorem 7).
+//   - Fig9: consensus in HAS[HΩ, HΣ] — any number of crashes, membership
+//     and n unknown, using detectors of classes HΩ and HΣ (Theorem 8).
+//     Fig9 also provides the anonymous baseline variant the paper derives
+//     it from (AΩ leadership, no Leaders' Coordination Phase).
+//
+// Both algorithms proceed in rounds of four phases. The Leaders'
+// Coordination Phase is the paper's key addition for homonymy: HΩ elects a
+// set of homonymous leaders (all correct holders of one identifier), and
+// before proposing they exchange COORD messages until each has heard all
+// h_multiplicity co-leaders and adopted the minimum estimate — from then on
+// the leader group speaks with one voice and the anonymous-system protocols
+// the algorithms descend from ([4], [3]/[6]) apply unchanged.
+//
+// The implementations are event-driven state machines for the simulator:
+// every paper "wait until" is a guard re-evaluated whenever a message
+// arrives, a timer fires, or a co-located failure-detector module changes
+// output (sim.Poller).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Value is a consensus proposal. The reserved Bottom value ⊥ must not be
+// proposed; Fig. 8/9 use it as the "no majority" marker.
+type Value string
+
+// Bottom is the distinguished ⊥ value of Phases 1–2.
+const Bottom Value = "\x00⊥"
+
+// heartbeat is the guard re-evaluation period. Guards are also re-checked
+// on every message and every co-located module event; the heartbeat only
+// guarantees progress when a guard's truth depends purely on virtual time
+// (an oracle detector stabilizing) and keeps virtual time advancing.
+const heartbeat sim.Time = 5
+
+// Outcome reports one process's consensus result.
+type Outcome struct {
+	Decided bool
+	Value   Value
+	Round   int      // round in which the decision was reached
+	Time    sim.Time // virtual decision time
+}
+
+// DecideMsg implements the reliable broadcast of Task T2: a decided value
+// is relayed once by every process that learns it.
+type DecideMsg struct {
+	Val Value
+}
+
+// MsgTag implements sim.Tagger.
+func (DecideMsg) MsgTag() string { return "DECIDE" }
+
+// CoordMsg is the Leaders' Coordination Phase message (COORD, id, r, est).
+type CoordMsg struct {
+	ID    ident.ID
+	Round int
+	Est   Value
+}
+
+// MsgTag implements sim.Tagger.
+func (CoordMsg) MsgTag() string { return "COORD" }
+
+// Ph0Msg is the Phase 0 message (PH0, r, est).
+type Ph0Msg struct {
+	Round int
+	Est   Value
+}
+
+// MsgTag implements sim.Tagger.
+func (Ph0Msg) MsgTag() string { return "PH0" }
+
+// decider holds the decide/relay logic shared by both algorithms.
+type decider struct {
+	env     sim.Environment
+	outcome Outcome
+	invalid error // violated internal invariant, surfaced to tests
+}
+
+// Decided implements the public outcome query.
+func (d *decider) Decided() Outcome { return d.outcome }
+
+// InvariantErr reports a violated internal invariant (nil in correct runs);
+// the test suite asserts it stays nil under every adversary.
+func (d *decider) InvariantErr() error { return d.invalid }
+
+func (d *decider) invariant(cond bool, format string, args ...any) {
+	if !cond && d.invalid == nil {
+		d.invalid = fmt.Errorf(format, args...)
+	}
+}
+
+// decide records a local decision (first call wins) and broadcasts DECIDE.
+func (d *decider) decide(v Value, round int) {
+	if d.outcome.Decided {
+		return
+	}
+	d.outcome = Outcome{Decided: true, Value: v, Round: round, Time: d.env.Now()}
+	d.env.Note(trace.KindDecide, "DECIDE", string(v))
+	d.env.Broadcast(DecideMsg{Val: v})
+}
+
+// onDecide handles a received DECIDE: relay once, adopt the value.
+func (d *decider) onDecide(m DecideMsg, round int) {
+	if d.outcome.Decided {
+		return
+	}
+	d.outcome = Outcome{Decided: true, Value: m.Val, Round: round, Time: d.env.Now()}
+	d.env.Note(trace.KindDecide, "DECIDE", string(m.Val)+" (relayed)")
+	d.env.Broadcast(DecideMsg{Val: m.Val})
+}
+
+// minValue returns the smallest of a non-empty value list (the Leaders'
+// Coordination Phase adopts the minimum homonym estimate).
+func minValue(vs []Value) Value {
+	min := vs[0]
+	for _, v := range vs[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// distinct returns the sorted distinct values of a list.
+func distinct(vs []Value) []Value {
+	seen := make(map[Value]bool, len(vs))
+	var out []Value
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// recKind classifies a Phase-2 reception set per the paper's three cases.
+type recKind int
+
+const (
+	recAllSameValue recKind = iota + 1 // rec = {v}, v ≠ ⊥ → decide v
+	recValueAndBot                     // rec = {v, ⊥} → adopt v
+	recAllBot                          // rec = {⊥} → skip
+	recInvalid                         // anything else: broken invariant
+)
+
+// classifyRec implements lines 31–34 of Fig. 8 (and 49–53 of Fig. 9).
+func classifyRec(rec []Value) (recKind, Value) {
+	switch len(rec) {
+	case 1:
+		if rec[0] == Bottom {
+			return recAllBot, Bottom
+		}
+		return recAllSameValue, rec[0]
+	case 2:
+		// distinct() sorts; Bottom ("\x00⊥") sorts first.
+		if rec[0] == Bottom && rec[1] != Bottom {
+			return recValueAndBot, rec[1]
+		}
+	}
+	return recInvalid, Bottom
+}

@@ -1,0 +1,153 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/fd/oracle"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+// These tests inject the model's nastiest failure mode — crashing *during*
+// a broadcast so that an arbitrary subset of processes receives the final
+// message — into both consensus algorithms. The paper's §2 communication
+// model explicitly allows it, and the Phase 1/2 quorum logic must absorb
+// the resulting asymmetric views.
+
+func runFig8WithPartialCrash(t *testing.T, seed int64, deliverProb float64) {
+	t.Helper()
+	ids := ident.Balanced(5, 2)
+	n := ids.N()
+	proposals := make([]core.Value, n)
+	eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: seed, KnownN: true})
+	truth := fd.NewGroundTruth(ids, map[sim.PID]sim.Time{1: 25})
+	world := oracle.NewWorld(truth, 80)
+	insts := make([]*core.Fig8, n)
+	for i := 0; i < n; i++ {
+		proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+		det := oracle.NewHOmega(world, oracle.AdversaryRotate)
+		insts[i] = core.NewFig8(det, 2, proposals[i])
+		eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
+	}
+	// p1 crashes during its first broadcast at or after t=25: some peers
+	// get its message, others never do.
+	eng.CrashDuringBroadcast(1, 25, deliverProb)
+	eng.RunUntil(1_000_000, func() bool {
+		for _, p := range truth.Correct() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+		if err := inst.InvariantErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := check.Consensus(truth, proposals, outcomes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig8CrashMidBroadcast(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, prob := range []float64{0.0, 0.3, 0.7} {
+			runFig8WithPartialCrash(t, seed, prob)
+		}
+	}
+}
+
+func TestFig9CrashMidBroadcast(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		ids := ident.Balanced(6, 3)
+		n := ids.N()
+		proposals := make([]core.Value, n)
+		eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: seed})
+		truth := fd.NewGroundTruth(ids, map[sim.PID]sim.Time{0: 20, 3: 45})
+		world := oracle.NewWorld(truth, 100)
+		insts := make([]*core.Fig9, n)
+		for i := 0; i < n; i++ {
+			proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+			hs := oracle.NewHSigma(world)
+			ho := oracle.NewHOmega(world, oracle.AdversaryRotate)
+			insts[i] = core.NewFig9(ho, hs, proposals[i])
+			eng.AddProcess(sim.NewNode().Add("hsigma", hs).Add("homega", ho).Add("consensus", insts[i]))
+		}
+		eng.CrashDuringBroadcast(0, 20, 0.5)
+		eng.CrashDuringBroadcast(3, 45, 0.3)
+		eng.RunUntil(1_000_000, func() bool {
+			for _, p := range truth.Correct() {
+				if !insts[p].Decided().Decided {
+					return false
+				}
+			}
+			return true
+		})
+		outcomes := make([]core.Outcome, n)
+		for i, inst := range insts {
+			outcomes[i] = inst.Decided()
+			if err := inst.InvariantErr(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := check.Consensus(truth, proposals, outcomes); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestFig8AblatedSafetyUnderHomonymy: the ablation (no Leaders'
+// Coordination Phase) must keep validity/agreement even when it fails to
+// terminate — decided values, if any, must be consistent.
+func TestFig8AblatedSafetyUnderHomonymy(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		ids := ident.Balanced(6, 2)
+		n := ids.N()
+		proposals := make([]core.Value, n)
+		eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: seed, KnownN: true})
+		truth := fd.NewGroundTruth(ids, nil)
+		world := oracle.NewWorld(truth, 0)
+		insts := make([]*core.Fig8, n)
+		for i := 0; i < n; i++ {
+			proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+			det := oracle.NewHOmega(world, oracle.AdversaryNone)
+			insts[i] = core.NewFig8NoCoordination(det, 2, proposals[i])
+			insts[i].SetMaxRounds(15)
+			eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
+		}
+		eng.RunUntil(100_000, func() bool {
+			for _, inst := range insts {
+				if !inst.Decided().Decided {
+					return false
+				}
+			}
+			return true
+		})
+		proposed := make(map[core.Value]bool)
+		for _, v := range proposals {
+			proposed[v] = true
+		}
+		var val core.Value
+		have := false
+		for i, inst := range insts {
+			out := inst.Decided()
+			if !out.Decided {
+				continue
+			}
+			if out.Value == core.Bottom || !proposed[out.Value] {
+				t.Fatalf("seed %d: process %d decided invalid value %q", seed, i, out.Value)
+			}
+			if have && out.Value != val {
+				t.Fatalf("seed %d: agreement violated: %q vs %q", seed, val, out.Value)
+			}
+			val, have = out.Value, true
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// Ph1Msg is Fig. 8's Phase 1 message (PH1, r, est1).
+type Ph1Msg struct {
+	Round int
+	Est   Value
+}
+
+// MsgTag implements sim.Tagger.
+func (Ph1Msg) MsgTag() string { return "PH1" }
+
+// Ph2Msg is Fig. 8's Phase 2 message (PH2, r, est2); Est may be Bottom.
+type Ph2Msg struct {
+	Round int
+	Est   Value
+}
+
+// MsgTag implements sim.Tagger.
+func (Ph2Msg) MsgTag() string { return "PH2" }
+
+type fig8Phase int
+
+const (
+	f8Coord fig8Phase = iota + 1
+	f8Ph0
+	f8Ph1
+	f8Ph2
+)
+
+// Fig8 is the per-process consensus instance for HAS[t < n/2, HΩ]
+// (Figure 8, Theorem 7). It requires the engine to expose n (KnownN) and a
+// bound t < n/2 on the number of faulty processes. Attach it to a node
+// together with its HΩ detector module so that detector output changes
+// re-evaluate the phase guards.
+type Fig8 struct {
+	decider
+	d        fd.HOmega
+	t        int
+	proposal Value
+
+	n     int
+	round int
+	phase fig8Phase
+	est1  Value
+	est2  Value
+
+	// Per-round reception buffers. COORD keeps only estimates addressed to
+	// this identifier (the guard counts homonym co-leaders); PH0 keeps the
+	// first estimate; PH1/PH2 keep one entry per received copy.
+	coord map[int][]Value
+	ph0   map[int]*Value
+	ph1   map[int][]Value
+	ph2   map[int][]Value
+
+	// skipCoord ablates the Leaders' Coordination Phase (see
+	// NewFig8NoCoordination); maxRounds bounds ablated runs.
+	skipCoord bool
+	maxRounds int
+
+	// alpha, when positive, replaces the knowledge of n per the paper's
+	// footnote 5: quorums wait for α messages and a value is adopted when
+	// α copies of it arrived. Requires α > n/2 and ≥ α correct processes.
+	alpha int
+}
+
+var (
+	_ sim.Process = (*Fig8)(nil)
+	_ sim.Poller  = (*Fig8)(nil)
+)
+
+// NewFig8 creates a consensus instance proposing the given value, using
+// detector d ∈ HΩ and tolerating up to t crashes.
+func NewFig8(d fd.HOmega, t int, proposal Value) *Fig8 {
+	return &Fig8{
+		d:        d,
+		t:        t,
+		proposal: proposal,
+		coord:    make(map[int][]Value),
+		ph0:      make(map[int]*Value),
+		ph1:      make(map[int][]Value),
+		ph2:      make(map[int][]Value),
+	}
+}
+
+// NewFig8NoCoordination creates the ABLATED variant without the Leaders'
+// Coordination Phase — the algorithm one would get by using the anonymous
+// protocol of [4] with HΩ naively. Safety (validity/agreement) still holds
+// (it rests on the Phase 1/2 majority quorums alone), but with several
+// homonymous leaders pushing different estimates the termination argument
+// of Lemma 7 breaks: rounds can loop on split Phase-0 adoptions. The
+// ablation experiment (E14) quantifies this; SetMaxRounds bounds runs.
+func NewFig8NoCoordination(d fd.HOmega, t int, proposal Value) *Fig8 {
+	c := NewFig8(d, t, proposal)
+	c.skipCoord = true
+	return c
+}
+
+// NewFig8Alpha creates the footnote-5 variant: the knowledge of n is
+// replaced by a parameter α such that α > n/2 and, in every execution, at
+// least α processes are correct. Quorum waits collect α messages and a
+// value is adopted when α equal copies arrived — any two α-quorums
+// intersect, so the Phase 1/2 safety argument is unchanged, and with ≥ α
+// correct senders the waits terminate. The instance never queries
+// Environment.N, so it runs with completely unknown membership size.
+func NewFig8Alpha(d fd.HOmega, alpha int, proposal Value) *Fig8 {
+	if alpha < 1 {
+		panic(fmt.Sprintf("core: Fig8Alpha requires alpha >= 1, got %d", alpha))
+	}
+	c := NewFig8(d, 0, proposal)
+	c.alpha = alpha
+	return c
+}
+
+// SetMaxRounds bounds the number of rounds executed (0 = unlimited);
+// ablation experiments use it to stop non-terminating configurations.
+func (c *Fig8) SetMaxRounds(k int) { c.maxRounds = k }
+
+// Init implements sim.Process: propose(v).
+func (c *Fig8) Init(env sim.Environment) {
+	c.env = env
+	if c.alpha == 0 {
+		n, known := env.N()
+		if !known {
+			panic("core: Fig8 requires HAS[t<n/2] with n known (sim.Config.KnownN), or the α variant")
+		}
+		if c.t < 0 || 2*c.t >= n {
+			panic(fmt.Sprintf("core: Fig8 requires t < n/2, got t=%d n=%d", c.t, n))
+		}
+		c.n = n
+	}
+	if c.proposal == Bottom {
+		panic("core: Bottom must not be proposed")
+	}
+	c.est1 = c.proposal
+	c.round = 1
+	c.startRound()
+	env.SetTimer(heartbeat, 0)
+	c.step()
+}
+
+// quorumSize is the number of messages Phases 1–2 wait for: n−t with
+// known n, α in the footnote-5 variant.
+func (c *Fig8) quorumSize() int {
+	if c.alpha > 0 {
+		return c.alpha
+	}
+	return c.n - c.t
+}
+
+// adopted reports whether a value with the given tally is adopted as est2:
+// more than n/2 copies with known n, at least α copies in the α variant.
+func (c *Fig8) adopted(count int) bool {
+	if c.alpha > 0 {
+		return count >= c.alpha
+	}
+	return 2*count > c.n
+}
+
+func (c *Fig8) startRound() {
+	if c.skipCoord {
+		c.phase = f8Ph0
+		return
+	}
+	c.phase = f8Coord
+	c.env.Broadcast(CoordMsg{ID: c.env.ID(), Round: c.round, Est: c.est1})
+}
+
+// OnTimer implements sim.Process: the heartbeat re-evaluates guards whose
+// truth changed with virtual time only (detector stabilization). A decided
+// process stops its heartbeat so that finished executions drain.
+func (c *Fig8) OnTimer(tag int) {
+	if !c.outcome.Decided {
+		c.env.SetTimer(heartbeat, tag)
+	}
+	c.step()
+}
+
+// Poll implements sim.Poller: co-located module activity (the detector)
+// may have changed guard values.
+func (c *Fig8) Poll() { c.step() }
+
+// OnMessage implements sim.Process.
+func (c *Fig8) OnMessage(payload any) {
+	switch m := payload.(type) {
+	case DecideMsg:
+		c.onDecide(m, c.round)
+	case CoordMsg:
+		if m.ID == c.env.ID() {
+			c.coord[m.Round] = append(c.coord[m.Round], m.Est)
+		}
+	case Ph0Msg:
+		if c.ph0[m.Round] == nil {
+			v := m.Est
+			c.ph0[m.Round] = &v
+		}
+	case Ph1Msg:
+		c.ph1[m.Round] = append(c.ph1[m.Round], m.Est)
+	case Ph2Msg:
+		c.ph2[m.Round] = append(c.ph2[m.Round], m.Est)
+	}
+	c.step()
+}
+
+// step runs the state machine until no guard fires.
+func (c *Fig8) step() {
+	if c.env == nil {
+		return
+	}
+	for !c.outcome.Decided {
+		if c.maxRounds > 0 && c.round > c.maxRounds {
+			return
+		}
+		switch c.phase {
+		case f8Coord:
+			if !c.stepCoord() {
+				return
+			}
+		case f8Ph0:
+			if !c.stepPh0() {
+				return
+			}
+		case f8Ph1:
+			if !c.stepPh1() {
+				return
+			}
+		case f8Ph2:
+			if !c.stepPh2() {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// stepCoord is the Leaders' Coordination Phase wait (lines 9–14): leaders
+// wait for COORD messages from all h_multiplicity homonym co-leaders and
+// adopt the minimum estimate; non-leaders pass straight through.
+func (c *Fig8) stepCoord() bool {
+	ld, ok := c.d.Leader()
+	iAmLeader := ok && ld.ID == c.env.ID()
+	need := ld.Multiplicity
+	if need < 1 {
+		need = 1
+	}
+	if iAmLeader && len(c.coord[c.round]) < need {
+		return false
+	}
+	if ests := c.coord[c.round]; len(ests) > 0 {
+		c.est1 = minValue(ests)
+	}
+	c.phase = f8Ph0
+	return true
+}
+
+// stepPh0 is Phase 0 (lines 16–18): leaders push their estimate; everyone
+// else adopts the first leader estimate received; all re-broadcast.
+func (c *Fig8) stepPh0() bool {
+	ld, ok := c.d.Leader()
+	iAmLeader := ok && ld.ID == c.env.ID()
+	v := c.ph0[c.round]
+	if !iAmLeader && v == nil {
+		return false
+	}
+	if v != nil {
+		c.est1 = *v
+	}
+	c.env.Broadcast(Ph0Msg{Round: c.round, Est: c.est1})
+	c.env.Broadcast(Ph1Msg{Round: c.round, Est: c.est1})
+	c.phase = f8Ph1
+	return true
+}
+
+// stepPh1 is Phase 1 (lines 20–26): wait for n−t estimates; a value seen
+// more than n/2 times becomes est2, otherwise est2 = ⊥.
+func (c *Fig8) stepPh1() bool {
+	got := c.ph1[c.round]
+	if len(got) < c.quorumSize() {
+		return false
+	}
+	c.est2 = Bottom
+	counts := make(map[Value]int, len(got))
+	for _, v := range got {
+		counts[v]++
+		if c.adopted(counts[v]) {
+			c.est2 = v
+		}
+	}
+	c.env.Broadcast(Ph2Msg{Round: c.round, Est: c.est2})
+	c.phase = f8Ph2
+	return true
+}
+
+// stepPh2 is Phase 2 (lines 28–34): wait for n−t est2 values; decide on a
+// unanimous non-⊥ value, adopt a partially-supported one, skip on all-⊥.
+func (c *Fig8) stepPh2() bool {
+	got := c.ph2[c.round]
+	if len(got) < c.quorumSize() {
+		return false
+	}
+	rec := distinct(got)
+	kind, v := classifyRec(rec)
+	switch kind {
+	case recAllSameValue:
+		c.decide(v, c.round)
+		return true
+	case recValueAndBot:
+		c.est1 = v
+	case recAllBot:
+		// skip
+	default:
+		c.invariant(false, "fig8: round %d rec contains two non-⊥ values: %v", c.round, rec)
+	}
+	c.round++
+	c.startRound()
+	return true
+}
+
+// Round returns the current round (observability).
+func (c *Fig8) Round() int { return c.round }

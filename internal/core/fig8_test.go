@@ -1,0 +1,277 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/fd/ohp"
+	"repro/internal/fd/oracle"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+// fig8Run wires n Fig8 instances over HΩ oracles with the given adversary
+// and crash schedule, runs to completion, and checks consensus.
+type fig8Run struct {
+	ids       ident.Assignment
+	t         int
+	crashes   map[sim.PID]sim.Time
+	mode      oracle.Adversary
+	stabilize sim.Time
+	seed      int64
+	net       sim.Model
+	proposals []core.Value
+}
+
+func (r fig8Run) exec(t *testing.T) check.Report {
+	t.Helper()
+	rep, err := r.execErr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func (r fig8Run) execErr() (check.Report, error) {
+	n := r.ids.N()
+	if r.net == nil {
+		r.net = sim.Async{MaxDelay: 8}
+	}
+	if r.proposals == nil {
+		r.proposals = make([]core.Value, n)
+		for i := range r.proposals {
+			r.proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+		}
+	}
+	eng := sim.New(sim.Config{IDs: r.ids, Net: r.net, Seed: r.seed, KnownN: true})
+	truth := fd.NewGroundTruth(r.ids, r.crashes)
+	world := oracle.NewWorld(truth, r.stabilize)
+	insts := make([]*core.Fig8, n)
+	for i := 0; i < n; i++ {
+		det := oracle.NewHOmega(world, r.mode)
+		insts[i] = core.NewFig8(det, r.t, r.proposals[i])
+		eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
+	}
+	for p, at := range r.crashes {
+		eng.CrashAt(p, at)
+	}
+	eng.RunUntil(1_000_000, func() bool {
+		for _, p := range truth.Correct() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+		if err := inst.InvariantErr(); err != nil {
+			return check.Report{}, err
+		}
+	}
+	return check.Consensus(truth, r.proposals, outcomes)
+}
+
+func TestFig8FailureFreeStableLeader(t *testing.T) {
+	fig8Run{ids: ident.Balanced(5, 2), t: 2, seed: 1}.exec(t)
+}
+
+func TestFig8UniqueIDs(t *testing.T) {
+	// ℓ = n: HΩ degenerates to Ω, the classical setting.
+	fig8Run{ids: ident.Unique(5), t: 2, seed: 2}.exec(t)
+}
+
+func TestFig8Anonymous(t *testing.T) {
+	// ℓ = 1: all processes are leaders; the Leaders' Coordination Phase
+	// makes the whole system converge on the minimum estimate.
+	fig8Run{ids: ident.AnonymousN(5), t: 2, seed: 3}.exec(t)
+}
+
+func TestFig8WithCrashes(t *testing.T) {
+	fig8Run{
+		ids:     ident.Balanced(7, 3),
+		t:       3,
+		crashes: map[sim.PID]sim.Time{0: 30, 4: 70, 6: 15},
+		seed:    4,
+	}.exec(t)
+}
+
+func TestFig8LeaderGroupPartiallyCrashes(t *testing.T) {
+	// Two holders of the leading identifier "a"; one crashes. HΩ's
+	// multiplicity must shrink to 1 and the survivor leads alone.
+	ids := ident.Assignment{"a", "a", "b", "c", "d"}
+	fig8Run{
+		ids:       ids,
+		t:         2,
+		crashes:   map[sim.PID]sim.Time{0: 40},
+		stabilize: 100,
+		mode:      oracle.AdversaryRotate,
+		seed:      5,
+	}.exec(t)
+}
+
+func TestFig8RotatingAdversary(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		fig8Run{
+			ids:       ident.Balanced(5, 2),
+			t:         2,
+			mode:      oracle.AdversaryRotate,
+			stabilize: 150,
+			crashes:   map[sim.PID]sim.Time{2: 60},
+			seed:      seed,
+		}.exec(t)
+	}
+}
+
+func TestFig8SplitBrainAdversary(t *testing.T) {
+	// Different processes see different leaders until stabilization:
+	// agreement must hold throughout, termination after.
+	for seed := int64(1); seed <= 6; seed++ {
+		fig8Run{
+			ids:       ident.Balanced(6, 3),
+			t:         2,
+			mode:      oracle.AdversarySplit,
+			stabilize: 200,
+			crashes:   map[sim.PID]sim.Time{1: 90},
+			seed:      seed,
+		}.exec(t)
+	}
+}
+
+func TestFig8SameProposalsEverywhere(t *testing.T) {
+	props := make([]core.Value, 5)
+	for i := range props {
+		props[i] = "only"
+	}
+	rep := fig8Run{ids: ident.Balanced(5, 2), t: 2, proposals: props, seed: 7}.exec(t)
+	if rep.Value != "only" {
+		t.Errorf("decided %q, want %q", rep.Value, "only")
+	}
+}
+
+func TestFig8MaxToleratedCrashes(t *testing.T) {
+	// n=5, t=2: exactly 2 crashes, the boundary of the majority model.
+	fig8Run{
+		ids:     ident.Balanced(5, 2),
+		t:       2,
+		crashes: map[sim.PID]sim.Time{1: 25, 3: 50},
+		seed:    8,
+	}.exec(t)
+}
+
+func TestFig8CrashAtTimeZeroish(t *testing.T) {
+	fig8Run{
+		ids:     ident.Balanced(5, 2),
+		t:       2,
+		crashes: map[sim.PID]sim.Time{0: 1},
+		seed:    9,
+	}.exec(t)
+}
+
+func TestFig8ManySeedsAgainstAdversaries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep")
+	}
+	for seed := int64(10); seed < 22; seed++ {
+		mode := oracle.Adversary(seed % 3)
+		fig8Run{
+			ids:       ident.Balanced(6, 2),
+			t:         2,
+			mode:      mode,
+			stabilize: 120,
+			crashes:   map[sim.PID]sim.Time{sim.PID(seed % 6): 40},
+			seed:      seed,
+		}.exec(t)
+	}
+}
+
+func TestFig8PanicsOnBadParameters(t *testing.T) {
+	tests := []struct {
+		name  string
+		setup func()
+	}{
+		{"t too large", func() {
+			eng := sim.New(sim.Config{IDs: ident.Unique(4), Seed: 1, KnownN: true})
+			truth := fd.NewGroundTruth(ident.Unique(4), nil)
+			det := oracle.NewHOmega(oracle.NewWorld(truth, 0), oracle.AdversaryNone)
+			inst := core.NewFig8(det, 2, "x")
+			eng.AddProcess(sim.NewNode().Add("d", det).Add("c", inst))
+			for i := 0; i < 3; i++ {
+				eng.AddProcess(sim.NewNode().Add("d", oracle.NewHOmega(oracle.NewWorld(truth, 0), oracle.AdversaryNone)).Add("c", core.NewFig8(oracle.NewHOmega(oracle.NewWorld(truth, 0), oracle.AdversaryNone), 2, "x")))
+			}
+			eng.Run(1)
+		}},
+		{"unknown n", func() {
+			eng := sim.New(sim.Config{IDs: ident.Unique(1), Seed: 1})
+			truth := fd.NewGroundTruth(ident.Unique(1), nil)
+			det := oracle.NewHOmega(oracle.NewWorld(truth, 0), oracle.AdversaryNone)
+			eng.AddProcess(sim.NewNode().Add("d", det).Add("c", core.NewFig8(det, 0, "x")))
+			eng.Run(1)
+		}},
+		{"bottom proposed", func() {
+			eng := sim.New(sim.Config{IDs: ident.Unique(1), Seed: 1, KnownN: true})
+			truth := fd.NewGroundTruth(ident.Unique(1), nil)
+			det := oracle.NewHOmega(oracle.NewWorld(truth, 0), oracle.AdversaryNone)
+			eng.AddProcess(sim.NewNode().Add("d", det).Add("c", core.NewFig8(det, 0, core.Bottom)))
+			eng.Run(1)
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tt.setup()
+		})
+	}
+}
+
+// TestFig8OverRealDetector stacks Fig. 8 on the paper's own Fig. 6
+// detector in a partially synchronous network: the end-to-end claim that
+// consensus is solvable in HPS with a correct majority (E12).
+func TestFig8OverRealDetector(t *testing.T) {
+	ids := ident.Balanced(5, 2)
+	n := ids.N()
+	crashes := map[sim.PID]sim.Time{3: 40}
+	proposals := make([]core.Value, n)
+	for i := range proposals {
+		proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+	}
+	eng := sim.New(sim.Config{
+		IDs:    ids,
+		Net:    sim.PartialSync{GST: 60, Delta: 3},
+		Seed:   11,
+		KnownN: true,
+	})
+	truth := fd.NewGroundTruth(ids, crashes)
+	insts := make([]*core.Fig8, n)
+	for i := 0; i < n; i++ {
+		det := ohp.New()
+		insts[i] = core.NewFig8(det, 2, proposals[i])
+		eng.AddProcess(sim.NewNode().Add("ohp", det).Add("consensus", insts[i]))
+	}
+	for p, at := range crashes {
+		eng.CrashAt(p, at)
+	}
+	eng.RunUntil(2_000_000, func() bool {
+		for _, p := range truth.Correct() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+	}
+	if _, err := check.Consensus(truth, proposals, outcomes); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/fd/oracle"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+// The footnote-5 variant: Fig. 8 with α replacing the knowledge of n.
+// Note KnownN is FALSE in all these runs — the algorithm never asks for n.
+
+func runFig8Alpha(t *testing.T, ids ident.Assignment, alpha int, crashes map[sim.PID]sim.Time, mode oracle.Adversary, stabilize sim.Time, seed int64) check.Report {
+	t.Helper()
+	n := ids.N()
+	eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: seed}) // n unknown!
+	truth := fd.NewGroundTruth(ids, crashes)
+	world := oracle.NewWorld(truth, stabilize)
+	proposals := make([]core.Value, n)
+	insts := make([]*core.Fig8, n)
+	for i := 0; i < n; i++ {
+		proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+		det := oracle.NewHOmega(world, mode)
+		insts[i] = core.NewFig8Alpha(det, alpha, proposals[i])
+		eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
+	}
+	for p, at := range crashes {
+		eng.CrashAt(p, at)
+	}
+	eng.RunUntil(1_000_000, func() bool {
+		for _, p := range truth.Correct() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+		if err := inst.InvariantErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := check.Consensus(truth, proposals, outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestFig8AlphaFailureFree(t *testing.T) {
+	// n=5 (unknown to the processes), α=3 > n/2, 5 ≥ α correct.
+	runFig8Alpha(t, ident.Balanced(5, 2), 3, nil, oracle.AdversaryNone, 0, 1)
+}
+
+func TestFig8AlphaWithCrashes(t *testing.T) {
+	// n=7, α=4: up to 3 crashes keep ≥ α correct.
+	crashes := map[sim.PID]sim.Time{0: 20, 3: 45, 6: 70}
+	runFig8Alpha(t, ident.Balanced(7, 3), 4, crashes, oracle.AdversaryRotate, 120, 2)
+}
+
+func TestFig8AlphaAdversarySweep(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		crashes := map[sim.PID]sim.Time{sim.PID(seed % 6): 30}
+		runFig8Alpha(t, ident.Balanced(6, 2), 4, crashes, oracle.AdversarySplit, 150, seed)
+	}
+}
+
+func TestFig8AlphaNeverQueriesN(t *testing.T) {
+	// The harness above already runs with KnownN=false: a query would
+	// panic inside Init. This test pins the contract explicitly.
+	eng := sim.New(sim.Config{IDs: ident.Unique(3), Seed: 3}) // KnownN=false
+	truth := fd.NewGroundTruth(ident.Unique(3), nil)
+	world := oracle.NewWorld(truth, 0)
+	for i := 0; i < 3; i++ {
+		det := oracle.NewHOmega(world, oracle.AdversaryNone)
+		inst := core.NewFig8Alpha(det, 2, core.Value(fmt.Sprintf("v%d", i)))
+		eng.AddProcess(sim.NewNode().Add("d", det).Add("c", inst))
+	}
+	eng.Run(100) // must not panic
+}
+
+func TestFig8AlphaBadAlphaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("alpha < 1 should panic")
+		}
+	}()
+	core.NewFig8Alpha(nil, 0, "v")
+}

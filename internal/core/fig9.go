@@ -1,0 +1,424 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// Ph1QMsg is Fig. 9's Phase 1 message (PH1, id, r, sr, current_labels,
+// est1): the sender's identifier, round, sub-round, its current HΣ label
+// knowledge, and its estimate.
+type Ph1QMsg struct {
+	ID     ident.ID
+	Round  int
+	SR     int
+	Labels []fd.Label
+	Est    Value
+}
+
+// MsgTag implements sim.Tagger.
+func (Ph1QMsg) MsgTag() string { return "PH1" }
+
+// Ph2QMsg is Fig. 9's Phase 2 message (PH2, id, r, sr, current_labels,
+// est2); Est may be Bottom.
+type Ph2QMsg struct {
+	ID     ident.ID
+	Round  int
+	SR     int
+	Labels []fd.Label
+	Est    Value
+}
+
+// MsgTag implements sim.Tagger.
+func (Ph2QMsg) MsgTag() string { return "PH2" }
+
+type quorMsg struct {
+	id     ident.ID
+	sr     int
+	labels map[fd.Label]bool
+	est    Value
+}
+
+type fig9Phase int
+
+const (
+	f9Coord fig9Phase = iota + 1
+	f9Ph0
+	f9Ph1
+	f9Ph2
+)
+
+// Fig9 is the per-process consensus instance for HAS[HΩ, HΣ] (Figure 9,
+// Theorem 8): it tolerates any number of crashes and needs neither n nor t
+// nor the membership. Quorums come from the HΣ detector: Phases 1 and 2
+// run in sub-rounds, re-broadcasting whenever the local h_labels knowledge
+// grows or a peer is seen in a later sub-round, until some h_quora pair
+// (x, mset) is matched by messages of one sub-round all carrying label x
+// whose sender identifiers form exactly mset.
+//
+// Constructed with NewFig9Anonymous instead, it becomes the anonymous
+// baseline the paper derives it from (§5.3 closing remark): leadership
+// comes from an AΩ detector and the Leaders' Coordination Phase is
+// removed — the resulting Phase 0 matches Figure 3 of [6].
+type Fig9 struct {
+	decider
+	d1       fd.HOmega // HΩ leadership (homonymous variant)
+	d3       fd.AOmega // AΩ leadership (anonymous baseline variant)
+	d2       fd.HSigma
+	proposal Value
+
+	round int
+	phase fig9Phase
+	est1  Value
+	est2  Value
+
+	sr            int
+	currentLabels []fd.Label
+
+	coord     map[int][]Value // estimates from homonym co-leaders, per round
+	coordSeen map[int]bool    // any COORD seen for a round (Phase 2 exit)
+	ph0       map[int]*Value
+	ph1       map[int][]quorMsg
+	ph2       map[int][]quorMsg
+	maxRounds int // safety valve for adversarial tests; 0 = unlimited
+}
+
+var (
+	_ sim.Process = (*Fig9)(nil)
+	_ sim.Poller  = (*Fig9)(nil)
+)
+
+// NewFig9 creates the homonymous instance with detectors D1 ∈ HΩ, D2 ∈ HΣ.
+func NewFig9(d1 fd.HOmega, d2 fd.HSigma, proposal Value) *Fig9 {
+	return newFig9(d1, nil, d2, proposal)
+}
+
+// NewFig9Anonymous creates the anonymous baseline with D3 ∈ AΩ, D2 ∈ HΣ
+// (an AΣ detector can be lifted to HΣ with reduce.ASigmaToHSigma, matching
+// the paper's AAS[AΩ, AΣ] setting).
+func NewFig9Anonymous(d3 fd.AOmega, d2 fd.HSigma, proposal Value) *Fig9 {
+	return newFig9(nil, d3, d2, proposal)
+}
+
+func newFig9(d1 fd.HOmega, d3 fd.AOmega, d2 fd.HSigma, proposal Value) *Fig9 {
+	return &Fig9{
+		d1:        d1,
+		d3:        d3,
+		d2:        d2,
+		proposal:  proposal,
+		coord:     make(map[int][]Value),
+		coordSeen: make(map[int]bool),
+		ph0:       make(map[int]*Value),
+		ph1:       make(map[int][]quorMsg),
+		ph2:       make(map[int][]quorMsg),
+	}
+}
+
+// Init implements sim.Process: propose(v).
+func (c *Fig9) Init(env sim.Environment) {
+	c.env = env
+	if c.proposal == Bottom {
+		panic("core: Bottom must not be proposed")
+	}
+	c.est1 = c.proposal
+	c.round = 1
+	c.startRound()
+	env.SetTimer(heartbeat, 0)
+	c.step()
+}
+
+func (c *Fig9) startRound() {
+	if c.anonymous() {
+		// The baseline drops the Leaders' Coordination Phase entirely.
+		c.phase = f9Ph0
+		return
+	}
+	c.phase = f9Coord
+	c.env.Broadcast(CoordMsg{ID: c.env.ID(), Round: c.round, Est: c.est1})
+}
+
+func (c *Fig9) anonymous() bool { return c.d3 != nil }
+
+// OnTimer implements sim.Process.
+func (c *Fig9) OnTimer(tag int) {
+	if !c.outcome.Decided {
+		c.env.SetTimer(heartbeat, tag)
+	}
+	c.step()
+}
+
+// Poll implements sim.Poller: detector output changes (h_labels growth in
+// particular) drive the sub-round machinery.
+func (c *Fig9) Poll() { c.step() }
+
+// OnMessage implements sim.Process.
+func (c *Fig9) OnMessage(payload any) {
+	switch m := payload.(type) {
+	case DecideMsg:
+		c.onDecide(m, c.round)
+	case CoordMsg:
+		c.coordSeen[m.Round] = true
+		if m.ID == c.env.ID() {
+			c.coord[m.Round] = append(c.coord[m.Round], m.Est)
+		}
+	case Ph0Msg:
+		if c.ph0[m.Round] == nil {
+			v := m.Est
+			c.ph0[m.Round] = &v
+		}
+	case Ph1QMsg:
+		c.ph1[m.Round] = append(c.ph1[m.Round], toQuorMsg(m.ID, m.SR, m.Labels, m.Est))
+	case Ph2QMsg:
+		c.ph2[m.Round] = append(c.ph2[m.Round], toQuorMsg(m.ID, m.SR, m.Labels, m.Est))
+	}
+	c.step()
+}
+
+func toQuorMsg(id ident.ID, sr int, labels []fd.Label, est Value) quorMsg {
+	set := make(map[fd.Label]bool, len(labels))
+	for _, l := range labels {
+		set[l] = true
+	}
+	return quorMsg{id: id, sr: sr, labels: set, est: est}
+}
+
+func (c *Fig9) step() {
+	if c.env == nil {
+		return
+	}
+	for !c.outcome.Decided {
+		if c.maxRounds > 0 && c.round > c.maxRounds {
+			return
+		}
+		var progress bool
+		switch c.phase {
+		case f9Coord:
+			progress = c.stepCoord()
+		case f9Ph0:
+			progress = c.stepPh0()
+		case f9Ph1:
+			progress = c.stepPh1()
+		case f9Ph2:
+			progress = c.stepPh2()
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// stepCoord mirrors Fig. 8's Leaders' Coordination Phase (lines 9–14).
+func (c *Fig9) stepCoord() bool {
+	ld, ok := c.d1.Leader()
+	iAmLeader := ok && ld.ID == c.env.ID()
+	need := ld.Multiplicity
+	if need < 1 {
+		need = 1
+	}
+	if iAmLeader && len(c.coord[c.round]) < need {
+		return false
+	}
+	if ests := c.coord[c.round]; len(ests) > 0 {
+		c.est1 = minValue(ests)
+	}
+	c.phase = f9Ph0
+	return true
+}
+
+// stepPh0 is Phase 0 (lines 16–18) and the entry to Phase 1 (lines 20–21).
+func (c *Fig9) stepPh0() bool {
+	v := c.ph0[c.round]
+	if !c.leaderNow() && v == nil {
+		return false
+	}
+	if v != nil {
+		c.est1 = *v
+	}
+	c.env.Broadcast(Ph0Msg{Round: c.round, Est: c.est1})
+	c.enterPhase1()
+	return true
+}
+
+func (c *Fig9) leaderNow() bool {
+	if c.anonymous() {
+		return c.d3.IsLeader()
+	}
+	ld, ok := c.d1.Leader()
+	return ok && ld.ID == c.env.ID()
+}
+
+func (c *Fig9) enterPhase1() {
+	c.phase = f9Ph1
+	c.sr = 1
+	c.currentLabels = c.d2.Labels()
+	c.env.Broadcast(Ph1QMsg{ID: c.env.ID(), Round: c.round, SR: c.sr, Labels: c.currentLabels, Est: c.est1})
+}
+
+func (c *Fig9) enterPhase2() {
+	c.phase = f9Ph2
+	c.sr = 1
+	c.currentLabels = c.d2.Labels()
+	c.env.Broadcast(Ph2QMsg{ID: c.env.ID(), Round: c.round, SR: c.sr, Labels: c.currentLabels, Est: c.est2})
+}
+
+// stepPh1 is Phase 1's repeat loop (lines 22–38).
+func (c *Fig9) stepPh1() bool {
+	// Lines 23–24: a PH2 for this round means Phase 1 concluded elsewhere.
+	if msgs := c.ph2[c.round]; len(msgs) > 0 {
+		c.est2 = msgs[0].est
+		c.enterPhase2()
+		return true
+	}
+	// Lines 25–31: quorum match.
+	if rec, ok := c.matchQuorum(c.ph1[c.round]); ok {
+		if allSame(rec) {
+			c.est2 = rec[0]
+		} else {
+			c.est2 = Bottom
+		}
+		c.enterPhase2()
+		return true
+	}
+	// Lines 32–36: sub-round advance.
+	if c.advanceSubRound(c.ph1[c.round]) {
+		c.env.Broadcast(Ph1QMsg{ID: c.env.ID(), Round: c.round, SR: c.sr, Labels: c.currentLabels, Est: c.est1})
+		return true
+	}
+	return false
+}
+
+// stepPh2 is Phase 2's repeat loop (lines 42–61).
+func (c *Fig9) stepPh2() bool {
+	// Lines 43–44: someone reached round r+1; follow.
+	if c.nextRoundSignal() {
+		c.nextRound()
+		return true
+	}
+	// Lines 45–54: quorum match and the three reception cases.
+	if rec, ok := c.matchQuorum(c.ph2[c.round]); ok {
+		kind, v := classifyRec(distinct(rec))
+		switch kind {
+		case recAllSameValue:
+			c.decide(v, c.round)
+			return true
+		case recValueAndBot:
+			c.est1 = v
+		case recAllBot:
+			// skip
+		default:
+			c.invariant(false, "fig9: round %d rec contains two non-⊥ values: %v", c.round, rec)
+		}
+		c.nextRound()
+		return true
+	}
+	// Lines 55–59: sub-round advance.
+	if c.advanceSubRound(c.ph2[c.round]) {
+		c.env.Broadcast(Ph2QMsg{ID: c.env.ID(), Round: c.round, SR: c.sr, Labels: c.currentLabels, Est: c.est2})
+		return true
+	}
+	return false
+}
+
+// nextRoundSignal detects that some process already started round r+1: a
+// COORD of r+1 in the homonymous variant (line 43), any round-r+1 traffic
+// in the anonymous baseline (which has no COORD messages).
+func (c *Fig9) nextRoundSignal() bool {
+	if !c.anonymous() {
+		return c.coordSeen[c.round+1]
+	}
+	return c.ph0[c.round+1] != nil || len(c.ph1[c.round+1]) > 0
+}
+
+func (c *Fig9) nextRound() {
+	c.round++
+	c.startRound()
+}
+
+// advanceSubRound implements the two triggers of lines 32–33 / 55–56:
+// the local h_labels grew, or a peer message of this round carries a
+// higher sub-round.
+func (c *Fig9) advanceSubRound(msgs []quorMsg) bool {
+	labels := c.d2.Labels()
+	trigger := !fd.LabelsEqual(c.currentLabels, labels)
+	if !trigger {
+		for _, m := range msgs {
+			if m.sr > c.sr {
+				trigger = true
+				break
+			}
+		}
+	}
+	if !trigger {
+		return false
+	}
+	c.sr++
+	c.currentLabels = labels
+	return true
+}
+
+// matchQuorum searches for a pair (x, mset) ∈ D2.h_quora, a sub-round sr,
+// and a set M of this round's messages of sub-round sr, all carrying label
+// x, whose sender identifiers form exactly the multiset mset (lines
+// 25–28 / 45–48). It returns the estimates of a deterministic such M
+// (earliest arrivals per identifier).
+func (c *Fig9) matchQuorum(msgs []quorMsg) ([]Value, bool) {
+	if len(msgs) == 0 {
+		return nil, false
+	}
+	srs := make(map[int]bool)
+	for _, m := range msgs {
+		srs[m.sr] = true
+	}
+	srList := make([]int, 0, len(srs))
+	for sr := range srs {
+		srList = append(srList, sr)
+	}
+	sort.Ints(srList)
+
+	for _, pair := range c.d2.Quora() {
+		for _, sr := range srList {
+			avail := multiset.New[ident.ID]()
+			for _, m := range msgs {
+				if m.sr == sr && m.labels[pair.Label] {
+					avail.Add(m.id)
+				}
+			}
+			if avail.Empty() || !pair.M.SubsetOf(avail) {
+				continue
+			}
+			need := pair.M.Counts()
+			rec := make([]Value, 0, pair.M.Len())
+			for _, m := range msgs {
+				if m.sr == sr && m.labels[pair.Label] && need[m.id] > 0 {
+					need[m.id]--
+					rec = append(rec, m.est)
+				}
+			}
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+func allSame(vs []Value) bool {
+	for _, v := range vs[1:] {
+		if v != vs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Round returns the current round (observability).
+func (c *Fig9) Round() int { return c.round }
+
+// SubRound returns the current sub-round (observability).
+func (c *Fig9) SubRound() int { return c.sr }
+
+// SetMaxRounds bounds the rounds executed (0 = unlimited); adversarial
+// experiments use it to stop non-deciding configurations gracefully.
+func (c *Fig9) SetMaxRounds(k int) { c.maxRounds = k }

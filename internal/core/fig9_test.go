@@ -1,0 +1,191 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/fd/oracle"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+type fig9Run struct {
+	ids       ident.Assignment
+	crashes   map[sim.PID]sim.Time
+	mode      oracle.Adversary
+	stabilize sim.Time
+	seed      int64
+	anonymous bool // use the AΩ baseline variant
+	proposals []core.Value
+}
+
+func (r fig9Run) exec(t *testing.T) check.Report {
+	t.Helper()
+	n := r.ids.N()
+	if r.proposals == nil {
+		r.proposals = make([]core.Value, n)
+		for i := range r.proposals {
+			r.proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+		}
+	}
+	eng := sim.New(sim.Config{IDs: r.ids, Net: sim.Async{MaxDelay: 8}, Seed: r.seed})
+	truth := fd.NewGroundTruth(r.ids, r.crashes)
+	world := oracle.NewWorld(truth, r.stabilize)
+	insts := make([]*core.Fig9, n)
+	for i := 0; i < n; i++ {
+		hs := oracle.NewHSigma(world)
+		node := sim.NewNode().Add("hsigma", hs)
+		if r.anonymous {
+			ao := oracle.NewAOmega(world, r.mode)
+			insts[i] = core.NewFig9Anonymous(ao, hs, r.proposals[i])
+			node.Add("aomega", ao)
+		} else {
+			ho := oracle.NewHOmega(world, r.mode)
+			insts[i] = core.NewFig9(ho, hs, r.proposals[i])
+			node.Add("homega", ho)
+		}
+		eng.AddProcess(node.Add("consensus", insts[i]))
+	}
+	for p, at := range r.crashes {
+		eng.CrashAt(p, at)
+	}
+	eng.RunUntil(1_000_000, func() bool {
+		for _, p := range truth.Correct() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+		if err := inst.InvariantErr(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := check.Consensus(truth, r.proposals, outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestFig9FailureFree(t *testing.T) {
+	fig9Run{ids: ident.Balanced(5, 2), seed: 1}.exec(t)
+}
+
+func TestFig9UniqueAndAnonymousExtremes(t *testing.T) {
+	fig9Run{ids: ident.Unique(4), seed: 2}.exec(t)
+	fig9Run{ids: ident.AnonymousN(4), seed: 3}.exec(t)
+}
+
+func TestFig9MinorityCorrect(t *testing.T) {
+	// The decisive difference to Fig. 8: only 2 of 6 processes are
+	// correct (t = 4 ≥ n/2) and consensus still terminates.
+	fig9Run{
+		ids:       ident.Balanced(6, 3),
+		crashes:   map[sim.PID]sim.Time{0: 30, 2: 50, 4: 20, 5: 60},
+		stabilize: 120,
+		seed:      4,
+	}.exec(t)
+}
+
+func TestFig9SingleSurvivor(t *testing.T) {
+	// n−1 crashes: the lone correct process must still decide.
+	fig9Run{
+		ids:       ident.Balanced(5, 2),
+		crashes:   map[sim.PID]sim.Time{0: 25, 1: 40, 2: 55, 3: 70},
+		stabilize: 130,
+		seed:      5,
+	}.exec(t)
+}
+
+func TestFig9RotatingAdversary(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		fig9Run{
+			ids:       ident.Balanced(5, 2),
+			mode:      oracle.AdversaryRotate,
+			stabilize: 150,
+			crashes:   map[sim.PID]sim.Time{3: 60},
+			seed:      seed,
+		}.exec(t)
+	}
+}
+
+func TestFig9SplitBrainAdversary(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		fig9Run{
+			ids:       ident.Balanced(6, 3),
+			mode:      oracle.AdversarySplit,
+			stabilize: 180,
+			crashes:   map[sim.PID]sim.Time{0: 45, 5: 90},
+			seed:      seed,
+		}.exec(t)
+	}
+}
+
+func TestFig9AnonymousBaseline(t *testing.T) {
+	// The §5.3 remark: AΩ + no coordination phase solves consensus in
+	// anonymous systems (Figure 3 of [6] shape).
+	for seed := int64(1); seed <= 4; seed++ {
+		fig9Run{
+			ids:       ident.AnonymousN(5),
+			anonymous: true,
+			mode:      oracle.AdversaryRotate,
+			stabilize: 120,
+			crashes:   map[sim.PID]sim.Time{2: 50},
+			seed:      seed,
+		}.exec(t)
+	}
+}
+
+func TestFig9SameProposal(t *testing.T) {
+	props := []core.Value{"w", "w", "w", "w"}
+	rep := fig9Run{ids: ident.Balanced(4, 2), proposals: props, seed: 8}.exec(t)
+	if rep.Value != "w" {
+		t.Errorf("decided %q, want w", rep.Value)
+	}
+}
+
+func TestFig9DecisionRoundsBounded(t *testing.T) {
+	rep := fig9Run{ids: ident.Balanced(5, 2), seed: 9}.exec(t)
+	if rep.MaxRound > 3 {
+		t.Errorf("failure-free stable run took %d rounds, expected ≤ 3", rep.MaxRound)
+	}
+}
+
+func TestFig9CrashCascade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep")
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		fig9Run{
+			ids: ident.Balanced(7, 3),
+			crashes: map[sim.PID]sim.Time{
+				1: 20, 3: 35, 5: 50, 6: 65,
+			},
+			stabilize: 140,
+			mode:      oracle.AdversaryRotate,
+			seed:      seed,
+		}.exec(t)
+	}
+}
+
+func TestFig9BottomProposalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	eng := sim.New(sim.Config{IDs: ident.Unique(1), Seed: 1})
+	truth := fd.NewGroundTruth(ident.Unique(1), nil)
+	world := oracle.NewWorld(truth, 0)
+	hs := oracle.NewHSigma(world)
+	ho := oracle.NewHOmega(world, oracle.AdversaryNone)
+	eng.AddProcess(sim.NewNode().Add("hs", hs).Add("ho", ho).Add("c", core.NewFig9(ho, hs, core.Bottom)))
+	eng.Run(1)
+}

@@ -1,0 +1,186 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/fd/ohp"
+	"repro/internal/fd/oracle"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+// Stress suites: many random schedules, adversarial detectors, mixed
+// crash patterns. Everything is seeded, so any failure is reproducible by
+// its seed. Skipped with -short.
+
+func TestFig8Stress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep")
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		n := 4 + int(seed%5)      // 4..8
+		l := 1 + int(seed)%n      // 1..n
+		tt := (n - 1) / 2         // max tolerated
+		f := int(seed) % (tt + 1) // actual crashes ≤ t
+		crashes := make(map[sim.PID]sim.Time, f)
+		for i := 0; i < f; i++ {
+			crashes[sim.PID((int(seed)+i*2)%n)] = sim.Time(10 + 17*i)
+		}
+		mode := oracle.Adversary(seed % 3)
+		runConsensusStress(t, seed, ident.Balanced(n, l), crashes, func(det fd.HOmega, world *oracle.World, proposal core.Value) consensusInst {
+			return core.NewFig8(det, tt, proposal)
+		}, mode, true)
+	}
+}
+
+func TestFig9Stress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep")
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		n := 4 + int(seed%5) // 4..8
+		l := 1 + int(seed)%n // 1..n
+		f := int(seed) % n   // up to n-1 crashes
+		crashes := make(map[sim.PID]sim.Time, f)
+		for i := 0; i < f; i++ {
+			crashes[sim.PID((int(seed)+i*3)%n)] = sim.Time(10 + 13*i)
+		}
+		mode := oracle.Adversary(seed % 3)
+		runFig9Stress(t, seed, ident.Balanced(n, l), crashes, mode)
+	}
+}
+
+type consensusInst interface {
+	sim.Process
+	Decided() core.Outcome
+	InvariantErr() error
+}
+
+func runConsensusStress(t *testing.T, seed int64, ids ident.Assignment, crashes map[sim.PID]sim.Time,
+	build func(fd.HOmega, *oracle.World, core.Value) consensusInst, mode oracle.Adversary, knownN bool,
+) {
+	t.Helper()
+	n := ids.N()
+	eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 1 + sim.Time(seed%12)}, Seed: seed, KnownN: knownN})
+	truth := fd.NewGroundTruth(ids, crashes)
+	world := oracle.NewWorld(truth, 60+sim.Time(seed%100))
+	proposals := make([]core.Value, n)
+	insts := make([]consensusInst, n)
+	for i := 0; i < n; i++ {
+		proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+		det := oracle.NewHOmega(world, mode)
+		insts[i] = build(det, world, proposals[i])
+		eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
+	}
+	for p, at := range crashes {
+		eng.CrashAt(p, at)
+	}
+	eng.RunUntil(2_000_000, func() bool {
+		for _, p := range truth.Correct() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+		if err := inst.InvariantErr(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if _, err := check.Consensus(truth, proposals, outcomes); err != nil {
+		t.Fatalf("seed %d (n=%d): %v", seed, n, err)
+	}
+}
+
+func runFig9Stress(t *testing.T, seed int64, ids ident.Assignment, crashes map[sim.PID]sim.Time, mode oracle.Adversary) {
+	t.Helper()
+	n := ids.N()
+	eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 1 + sim.Time(seed%12)}, Seed: seed})
+	truth := fd.NewGroundTruth(ids, crashes)
+	world := oracle.NewWorld(truth, 60+sim.Time(seed%100))
+	proposals := make([]core.Value, n)
+	insts := make([]*core.Fig9, n)
+	for i := 0; i < n; i++ {
+		proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+		hs := oracle.NewHSigma(world)
+		ho := oracle.NewHOmega(world, mode)
+		insts[i] = core.NewFig9(ho, hs, proposals[i])
+		eng.AddProcess(sim.NewNode().Add("hsigma", hs).Add("homega", ho).Add("consensus", insts[i]))
+	}
+	for p, at := range crashes {
+		eng.CrashAt(p, at)
+	}
+	eng.RunUntil(2_000_000, func() bool {
+		for _, p := range truth.Correct() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+		if err := inst.InvariantErr(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if _, err := check.Consensus(truth, proposals, outcomes); err != nil {
+		t.Fatalf("seed %d (n=%d): %v", seed, n, err)
+	}
+}
+
+// TestEndToEndStress runs the full HPS stack (Fig 6 under Fig 8) across
+// seeds and GST values.
+func TestEndToEndStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress sweep")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		ids := ident.Balanced(5, 1+int(seed%5))
+		n := ids.N()
+		crashes := map[sim.PID]sim.Time{sim.PID(seed % 5): 20 + sim.Time(seed*5)}
+		eng := sim.New(sim.Config{
+			IDs:    ids,
+			Net:    sim.PartialSync{GST: 30 + sim.Time(seed*20), Delta: 2 + sim.Time(seed%4)},
+			Seed:   seed,
+			KnownN: true,
+		})
+		truth := fd.NewGroundTruth(ids, crashes)
+		proposals := make([]core.Value, n)
+		insts := make([]*core.Fig8, n)
+		for i := 0; i < n; i++ {
+			proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+			det := ohp.New()
+			insts[i] = core.NewFig8(det, 2, proposals[i])
+			eng.AddProcess(sim.NewNode().Add("ohp", det).Add("consensus", insts[i]))
+		}
+		for p, at := range crashes {
+			eng.CrashAt(p, at)
+		}
+		eng.RunUntil(3_000_000, func() bool {
+			for _, p := range truth.Correct() {
+				if !insts[p].Decided().Decided {
+					return false
+				}
+			}
+			return true
+		})
+		outcomes := make([]core.Outcome, n)
+		for i, inst := range insts {
+			outcomes[i] = inst.Decided()
+		}
+		if _, err := check.Consensus(truth, proposals, outcomes); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+)
+
+func TestClassifyRec(t *testing.T) {
+	tests := []struct {
+		name string
+		rec  []Value
+		kind recKind
+		val  Value
+	}{
+		{"unanimous value", []Value{"v"}, recAllSameValue, "v"},
+		{"value and bottom", []Value{Bottom, "v"}, recValueAndBot, "v"},
+		{"all bottom", []Value{Bottom}, recAllBot, Bottom},
+		{"two values", []Value{"a", "b"}, recInvalid, Bottom},
+		{"empty", nil, recInvalid, Bottom},
+		{"three entries", []Value{Bottom, "a", "b"}, recInvalid, Bottom},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			kind, val := classifyRec(tt.rec)
+			if kind != tt.kind || val != tt.val {
+				t.Errorf("classifyRec(%v) = (%v, %q), want (%v, %q)", tt.rec, kind, val, tt.kind, tt.val)
+			}
+		})
+	}
+}
+
+func TestDistinctSortsBottomFirst(t *testing.T) {
+	got := distinct([]Value{"z", Bottom, "z", "a", Bottom})
+	want := []Value{Bottom, "a", "z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("distinct = %q, want %q", got, want)
+	}
+}
+
+func TestMinValue(t *testing.T) {
+	if got := minValue([]Value{"m", "a", "z"}); got != "a" {
+		t.Errorf("minValue = %q", got)
+	}
+	if got := minValue([]Value{"only"}); got != "only" {
+		t.Errorf("minValue = %q", got)
+	}
+}
+
+// matchQuorum scenarios: the core of Fig. 9's Phase 1/2 guard.
+func TestMatchQuorum(t *testing.T) {
+	hs := &stubHSigma{
+		quora: []fd.QuorumPair{
+			{Label: "q", M: multiset.From[ident.ID]("A", "A", "B")},
+		},
+	}
+	c := &Fig9{d2: hs}
+
+	msg := func(id ident.ID, sr int, labels []fd.Label, est Value) quorMsg {
+		return toQuorMsg(id, sr, labels, est)
+	}
+
+	t.Run("no messages", func(t *testing.T) {
+		if _, ok := c.matchQuorum(nil); ok {
+			t.Error("matched with no messages")
+		}
+	})
+
+	t.Run("exact match same sub-round", func(t *testing.T) {
+		msgs := []quorMsg{
+			msg("A", 1, []fd.Label{"q"}, "x"),
+			msg("A", 1, []fd.Label{"q"}, "x"),
+			msg("B", 1, []fd.Label{"q"}, "x"),
+		}
+		rec, ok := c.matchQuorum(msgs)
+		if !ok || len(rec) != 3 {
+			t.Fatalf("rec = %v, ok = %v", rec, ok)
+		}
+	})
+
+	t.Run("missing multiplicity", func(t *testing.T) {
+		msgs := []quorMsg{
+			msg("A", 1, []fd.Label{"q"}, "x"),
+			msg("B", 1, []fd.Label{"q"}, "x"),
+		}
+		if _, ok := c.matchQuorum(msgs); ok {
+			t.Error("matched with only one A (needs two)")
+		}
+	})
+
+	t.Run("label must be carried by every member", func(t *testing.T) {
+		msgs := []quorMsg{
+			msg("A", 1, []fd.Label{"q"}, "x"),
+			msg("A", 1, []fd.Label{"other"}, "x"), // lacks q
+			msg("B", 1, []fd.Label{"q"}, "x"),
+		}
+		if _, ok := c.matchQuorum(msgs); ok {
+			t.Error("matched although one A does not carry the label")
+		}
+	})
+
+	t.Run("sub-rounds do not mix", func(t *testing.T) {
+		msgs := []quorMsg{
+			msg("A", 1, []fd.Label{"q"}, "x"),
+			msg("A", 2, []fd.Label{"q"}, "x"),
+			msg("B", 1, []fd.Label{"q"}, "x"),
+		}
+		if _, ok := c.matchQuorum(msgs); ok {
+			t.Error("matched across different sub-rounds")
+		}
+	})
+
+	t.Run("later sub-round can match", func(t *testing.T) {
+		msgs := []quorMsg{
+			msg("A", 2, []fd.Label{"q"}, "x"),
+			msg("A", 2, []fd.Label{"q"}, "y"),
+			msg("B", 2, []fd.Label{"q"}, "x"),
+		}
+		rec, ok := c.matchQuorum(msgs)
+		if !ok {
+			t.Fatal("no match in sub-round 2")
+		}
+		if allSame(rec) {
+			t.Error("mixed estimates reported as unanimous")
+		}
+	})
+
+	t.Run("deterministic earliest-arrival selection", func(t *testing.T) {
+		msgs := []quorMsg{
+			msg("A", 1, []fd.Label{"q"}, "first"),
+			msg("A", 1, []fd.Label{"q"}, "second"),
+			msg("A", 1, []fd.Label{"q"}, "third"), // extra A beyond demand
+			msg("B", 1, []fd.Label{"q"}, "b"),
+		}
+		rec, _ := c.matchQuorum(msgs)
+		want := []Value{"first", "second", "b"}
+		if !reflect.DeepEqual(rec, want) {
+			t.Errorf("rec = %v, want %v", rec, want)
+		}
+	})
+}
+
+type stubHSigma struct {
+	quora  []fd.QuorumPair
+	labels []fd.Label
+}
+
+func (s *stubHSigma) Quora() []fd.QuorumPair { return s.quora }
+func (s *stubHSigma) Labels() []fd.Label     { return s.labels }

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllTablesVerified runs every experiment end to end and asserts no
+// row reports a verification failure — the experiment suite is itself a
+// regression test for the whole stack.
+func TestAllTablesVerified(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	ids := make(map[string]bool)
+	for _, table := range All() {
+		table := table
+		t.Run(table.ID, func(t *testing.T) {
+			if table.ID == "" || table.Title == "" || table.Paper == "" {
+				t.Fatalf("table metadata incomplete: %+v", table)
+			}
+			if ids[table.ID] {
+				t.Fatalf("duplicate experiment id %s", table.ID)
+			}
+			ids[table.ID] = true
+			if len(table.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for _, row := range table.Rows {
+				if len(row) != len(table.Header) {
+					t.Fatalf("row width %d != header width %d: %v", len(row), len(table.Header), row)
+				}
+				for _, cell := range row {
+					if strings.HasPrefix(cell, "✗") {
+						t.Fatalf("verification failure in row %v", row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	tb := Table{
+		ID:     "EX",
+		Title:  "demo",
+		Paper:  "Figure 0",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"note."},
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"### EX — demo", "| a | b |", "| 1 | 2 |", "note.", "Figure 0"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

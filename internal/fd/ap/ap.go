@@ -1,0 +1,66 @@
+// Package ap implements the anonymous failure detector class AP of Bonnet
+// and Raynal ([5] in the paper): each process outputs an upper bound on the
+// number of currently alive processes that eventually becomes, forever, the
+// exact number of correct processes.
+//
+// The paper uses AP as a reduction source (Lemmas 2–3: AP → ◇HP̄ and
+// AP → HΣ in anonymous systems) and notes that AP is implementable in
+// synchronous anonymous systems but not in most partially synchronous ones.
+// This package provides the synchronous implementation: in each lock-step
+// step every process broadcasts ALIVE and outputs the number of messages it
+// received in that step — a snapshot of the alive population, which is
+// always an upper bound on the future alive population and is exact one
+// step after the last crash.
+package ap
+
+import (
+	"repro/internal/fd"
+	"repro/internal/sim"
+)
+
+// Msg is the ALIVE heartbeat.
+type Msg struct{}
+
+// MsgTag implements sim.Tagger.
+func (Msg) MsgTag() string { return "ALIVE" }
+
+// Detector is the per-process synchronous AP instance. It implements
+// sim.SyncProcess and fd.AP.
+type Detector struct {
+	count int
+	valid bool
+}
+
+var (
+	_ sim.SyncProcess = (*Detector)(nil)
+	_ fd.AP           = (*Detector)(nil)
+)
+
+// New creates a detector.
+func New() *Detector { return &Detector{} }
+
+// StepSend implements sim.SyncProcess.
+func (d *Detector) StepSend(*sim.SyncEnv) []any { return []any{Msg{}} }
+
+// StepRecv implements sim.SyncProcess: the step's message count is the
+// current alive estimate.
+func (d *Detector) StepRecv(_ *sim.SyncEnv, received []any) {
+	n := 0
+	for _, payload := range received {
+		if _, ok := payload.(Msg); ok {
+			n++
+		}
+	}
+	if n > 0 {
+		d.count = n
+		d.valid = true
+	}
+}
+
+// AliveCount implements fd.AP.
+func (d *Detector) AliveCount() int { return d.count }
+
+// Valid reports whether at least one step completed (before that the
+// output is meaningless; consumers polling at step boundaries never see an
+// invalid detector).
+func (d *Detector) Valid() bool { return d.valid }

@@ -1,0 +1,78 @@
+package ap
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+func runAP(t *testing.T, n int, crashes map[sim.PID]int, seed int64, steps int) (fd.Result, error) {
+	t.Helper()
+	ids := ident.AnonymousN(n)
+	eng := sim.NewSync(sim.SyncConfig{IDs: ids, Seed: seed})
+	dets := make([]*Detector, n)
+	for i := range dets {
+		dets[i] = New()
+		eng.AddProcess(dets[i])
+	}
+	crashTimes := make(map[sim.PID]sim.Time)
+	for p, step := range crashes {
+		eng.CrashAtStep(p, step, 0.5)
+		crashTimes[p] = sim.Time(step)
+	}
+	probe := fd.NewSyncProbe(eng, n, func(p sim.PID) (int, bool) {
+		if eng.Crashed(p) || !dets[p].Valid() {
+			return 0, false
+		}
+		return dets[p].AliveCount(), true
+	}, func(a, b int) bool { return a == b })
+	eng.RunSteps(steps)
+	return fd.CheckAP(fd.NewGroundTruth(ids, crashTimes), probe)
+}
+
+func TestFailureFree(t *testing.T) {
+	if _, err := runAP(t, 5, nil, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergesToCorrectCount(t *testing.T) {
+	crashes := map[sim.PID]int{1: 2, 3: 5}
+	if _, err := runAP(t, 6, crashes, 2, 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManySchedules(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		crashes := map[sim.PID]int{
+			sim.PID(seed % 5): 2,
+			5:                 int(seed%3) + 3,
+		}
+		if _, err := runAP(t, 6, crashes, seed, 15); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCountIsUpperBoundDuringCascade(t *testing.T) {
+	// A crash per step: at no sampled instant may the estimate dip below
+	// the live population (CheckAP verifies exactly this safety clause).
+	crashes := map[sim.PID]int{0: 2, 1: 3, 2: 4, 3: 5}
+	if _, err := runAP(t, 8, crashes, 7, 12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidFlag(t *testing.T) {
+	d := New()
+	if d.Valid() {
+		t.Error("detector valid before any step")
+	}
+	d.StepRecv(nil, []any{Msg{}, Msg{}})
+	if !d.Valid() || d.AliveCount() != 2 {
+		t.Errorf("AliveCount = %d, valid = %v", d.AliveCount(), d.Valid())
+	}
+}

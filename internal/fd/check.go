@@ -1,0 +1,200 @@
+package fd
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// Result reports a successful class check, with the measured stabilization
+// time: the latest instant at which any correct process's output changed
+// for the last time. (A checker can only certify the recorded prefix of an
+// infinite execution; "eventually forever" is read as "held from the final
+// change to the end of the recording", which is exact for detectors that
+// provably stop changing.)
+type Result struct {
+	StabilizationTime sim.Time
+}
+
+// stabilization computes the max last-change time over correct processes.
+func stabilization[T any](g *GroundTruth, pr *Probe[T]) sim.Time {
+	var worst sim.Time
+	for _, p := range g.Correct() {
+		if t := pr.LastChange(p); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// CheckDiamondHPbar verifies class ◇HP̄: every correct process's final
+// trusted multiset equals I(Correct).
+func CheckDiamondHPbar(g *GroundTruth, pr *Probe[*multiset.Multiset[ident.ID]]) (Result, error) {
+	want := g.CorrectIDs()
+	for _, p := range g.Correct() {
+		got, ok := pr.Last(p)
+		if !ok {
+			return Result{}, fmt.Errorf("◇HP̄ liveness: correct process %d produced no output", p)
+		}
+		if !got.Equal(want) {
+			return Result{}, fmt.Errorf("◇HP̄ liveness: process %d trusts %v, want I(Correct) = %v", p, got, want)
+		}
+	}
+	return Result{StabilizationTime: stabilization(g, pr)}, nil
+}
+
+// CheckHOmega verifies class HΩ: eventually all correct processes output
+// the same pair (ℓ, c) with ℓ ∈ I(Correct) and c = mult_{I(Correct)}(ℓ).
+func CheckHOmega(g *GroundTruth, pr *Probe[LeaderInfo]) (Result, error) {
+	correct := g.Correct()
+	if len(correct) == 0 {
+		return Result{}, nil
+	}
+	first, ok := pr.Last(correct[0])
+	if !ok {
+		return Result{}, fmt.Errorf("HΩ election: correct process %d produced no output", correct[0])
+	}
+	for _, p := range correct[1:] {
+		got, ok := pr.Last(p)
+		if !ok {
+			return Result{}, fmt.Errorf("HΩ election: correct process %d produced no output", p)
+		}
+		if got != first {
+			return Result{}, fmt.Errorf("HΩ election: processes %d and %d disagree: %v vs %v", correct[0], p, first, got)
+		}
+	}
+	cids := g.CorrectIDs()
+	if !cids.Contains(first.ID) {
+		return Result{}, fmt.Errorf("HΩ election: elected id %s is not the identifier of any correct process", first.ID)
+	}
+	if want := cids.Count(first.ID); first.Multiplicity != want {
+		return Result{}, fmt.Errorf("HΩ election: multiplicity %d for id %s, want %d", first.Multiplicity, first.ID, want)
+	}
+	return Result{StabilizationTime: stabilization(g, pr)}, nil
+}
+
+// CheckSigma verifies the (multiset-generalized) class Σ.
+// Liveness: each correct process's final quorum ⊆ I(Correct).
+// Safety: every two sampled quorums, across all processes and times, share
+// an identifier; in unique-identifier systems a shared identifier is a
+// shared process, which is the paper's setting for Σ.
+func CheckSigma(g *GroundTruth, pr *Probe[*multiset.Multiset[ident.ID]]) (Result, error) {
+	want := g.CorrectIDs()
+	for _, p := range g.Correct() {
+		got, ok := pr.Last(p)
+		if !ok {
+			return Result{}, fmt.Errorf("Σ liveness: correct process %d produced no output", p)
+		}
+		if !got.SubsetOf(want) {
+			return Result{}, fmt.Errorf("Σ liveness: process %d trusts %v ⊄ I(Correct) = %v", p, got, want)
+		}
+	}
+	var all []sampleAt[*multiset.Multiset[ident.ID]]
+	for p := 0; p < pr.N(); p++ {
+		for _, s := range pr.History(sim.PID(p)) {
+			all = append(all, sampleAt[*multiset.Multiset[ident.ID]]{pid: sim.PID(p), s: s})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i; j < len(all); j++ {
+			if !all[i].s.Value.Intersects(all[j].s.Value) {
+				return Result{}, fmt.Errorf("Σ safety: quorum %v (p%d@%d) and %v (p%d@%d) are disjoint",
+					all[i].s.Value, all[i].pid, all[i].s.Time, all[j].s.Value, all[j].pid, all[j].s.Time)
+			}
+		}
+	}
+	return Result{StabilizationTime: stabilization(g, pr)}, nil
+}
+
+type sampleAt[T any] struct {
+	pid sim.PID
+	s   Sample[T]
+}
+
+// CheckAliveList verifies class 𝔈 (Definition 1): in every correct
+// process's final alive list, each correct identifier has rank ≤ |Correct|.
+func CheckAliveList(g *GroundTruth, pr *Probe[[]ident.ID]) (Result, error) {
+	correct := g.Correct()
+	for _, p := range correct {
+		alive, ok := pr.Last(p)
+		if !ok {
+			return Result{}, fmt.Errorf("𝔈 liveness: correct process %d produced no output", p)
+		}
+		for _, q := range correct {
+			r := Rank(g.IDs[q], alive)
+			if r == 0 || r > len(correct) {
+				return Result{}, fmt.Errorf("𝔈 liveness: at process %d, rank(%s) = %d > |Correct| = %d (alive=%v)",
+					p, g.IDs[q], r, len(correct), alive)
+			}
+		}
+	}
+	return Result{StabilizationTime: stabilization(g, pr)}, nil
+}
+
+// CheckAP verifies class AP. Safety: at every sample time T the output is
+// ≥ the number of alive processes at T. Liveness: every correct process's
+// final output equals |Correct|.
+func CheckAP(g *GroundTruth, pr *Probe[int]) (Result, error) {
+	for p := 0; p < pr.N(); p++ {
+		for _, s := range pr.History(sim.PID(p)) {
+			if alive := len(g.AliveAt(s.Time)); s.Value < alive {
+				return Result{}, fmt.Errorf("AP safety: process %d output %d at t=%d with %d processes alive", p, s.Value, s.Time, alive)
+			}
+		}
+	}
+	want := len(g.Correct())
+	for _, p := range g.Correct() {
+		got, ok := pr.Last(p)
+		if !ok {
+			return Result{}, fmt.Errorf("AP liveness: correct process %d produced no output", p)
+		}
+		if got != want {
+			return Result{}, fmt.Errorf("AP liveness: process %d converged to %d, want |Correct| = %d", p, got, want)
+		}
+	}
+	return Result{StabilizationTime: stabilization(g, pr)}, nil
+}
+
+// CheckAOmega verifies class AΩ: in the final samples, exactly one correct
+// process's Boolean is true.
+func CheckAOmega(g *GroundTruth, pr *Probe[bool]) (Result, error) {
+	leaders := 0
+	for _, p := range g.Correct() {
+		v, ok := pr.Last(p)
+		if !ok {
+			return Result{}, fmt.Errorf("AΩ election: correct process %d produced no output", p)
+		}
+		if v {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		return Result{}, fmt.Errorf("AΩ election: %d correct processes consider themselves leader, want exactly 1", leaders)
+	}
+	return Result{StabilizationTime: stabilization(g, pr)}, nil
+}
+
+// CheckOmega verifies the classical Ω: all correct processes' final leader
+// is one common identifier of a correct process.
+func CheckOmega(g *GroundTruth, pr *Probe[ident.ID]) (Result, error) {
+	correct := g.Correct()
+	if len(correct) == 0 {
+		return Result{}, nil
+	}
+	first, ok := pr.Last(correct[0])
+	if !ok {
+		return Result{}, fmt.Errorf("Ω election: correct process %d produced no output", correct[0])
+	}
+	for _, p := range correct[1:] {
+		got, ok := pr.Last(p)
+		if !ok || got != first {
+			return Result{}, fmt.Errorf("Ω election: process %d has leader %v, process %d has %v", correct[0], first, p, got)
+		}
+	}
+	if !g.CorrectIDs().Contains(first) {
+		return Result{}, fmt.Errorf("Ω election: leader %s is not a correct process", first)
+	}
+	return Result{StabilizationTime: stabilization(g, pr)}, nil
+}

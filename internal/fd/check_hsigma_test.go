@@ -1,0 +1,216 @@
+package fd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+// The paper's §3.2 worked example: Π = {1,2,3} with id(1)=A, id(2)=A,
+// id(3)=B (0-indexed here), labels la ↦ {1,2}, lb ↦ {2,3}, lc ↦ {1,3},
+// process 2 faulty, h_quora₁ = {(lb, B)} and h_quora₃ = {(la, AB), (lc, AB)}.
+func paperExample() (*GroundTruth, *Probe[[]QuorumPair], *Probe[[]Label]) {
+	g := truth3AAB(1)
+	labels := NewStaticProbe([][]Sample[[]Label]{
+		hist([]Label{"la", "lc"}),
+		hist([]Label{"la", "lb"}),
+		hist([]Label{"lb", "lc"}),
+	})
+	quora := NewStaticProbe([][]Sample[[]QuorumPair]{
+		hist([]QuorumPair{{Label: "lb", M: ms("B")}}),
+		nil, // faulty process output unconstrained; keep empty
+		hist([]QuorumPair{
+			{Label: "la", M: ms("A", "B")},
+			{Label: "lc", M: ms("A", "B")},
+		}),
+	})
+	return g, quora, labels
+}
+
+func TestCheckHSigmaPaperExample(t *testing.T) {
+	g, quora, labels := paperExample()
+	if _, err := CheckHSigma(g, quora, labels); err != nil {
+		t.Fatalf("the paper's own example must satisfy HΣ: %v", err)
+	}
+}
+
+func TestCheckHSigmaLivenessFailure(t *testing.T) {
+	g := truth3AAB(1)
+	labels := NewStaticProbe([][]Sample[[]Label]{
+		hist([]Label{"la"}),
+		hist([]Label{"la"}),
+		hist([]Label{"la"}),
+	})
+	// (la, {A,A,B}) requires all three members correct, but p1 crashed:
+	// I(S(la) ∩ Correct) = {A, B} ⊉ {A,A,B}.
+	quora := NewStaticProbe([][]Sample[[]QuorumPair]{
+		hist([]QuorumPair{{Label: "la", M: ms("A", "A", "B")}}),
+		nil,
+		hist([]QuorumPair{{Label: "la", M: ms("A", "A", "B")}}),
+	})
+	if _, err := CheckHSigma(g, quora, labels); err == nil || !strings.Contains(err.Error(), "liveness") {
+		t.Errorf("err = %v, want liveness failure", err)
+	}
+}
+
+func TestCheckHSigmaSafetyFailure(t *testing.T) {
+	// Two homonymous correct processes: label x held only by p0, label y
+	// only by p1. Pairs (x, {A}) and (y, {A}) admit the disjoint
+	// realizations {p0} and {p1}.
+	g := NewGroundTruth(ident.Assignment{"A", "A"}, nil)
+	labels := NewStaticProbe([][]Sample[[]Label]{
+		hist([]Label{"x"}),
+		hist([]Label{"y"}),
+	})
+	quora := NewStaticProbe([][]Sample[[]QuorumPair]{
+		hist([]QuorumPair{{Label: "x", M: ms("A")}}),
+		hist([]QuorumPair{{Label: "y", M: ms("A")}}),
+	})
+	if _, err := CheckHSigma(g, quora, labels); err == nil || !strings.Contains(err.Error(), "safety") {
+		t.Errorf("err = %v, want safety failure", err)
+	}
+}
+
+func TestCheckHSigmaSafetyVacuousWhenUnrealizable(t *testing.T) {
+	// A pair demanding an identity its member set cannot supply imposes no
+	// safety obligation (no realization exists) — but it must not be the
+	// only pair of a correct process, or liveness fails. Give each process
+	// a good pair plus an unrealizable one.
+	g := NewGroundTruth(ident.Assignment{"A", "B"}, nil)
+	labels := NewStaticProbe([][]Sample[[]Label]{
+		hist([]Label{"all"}),
+		hist([]Label{"all"}),
+	})
+	quora := NewStaticProbe([][]Sample[[]QuorumPair]{
+		hist([]QuorumPair{
+			{Label: "all", M: ms("A", "B")},
+			{Label: "ghost", M: ms("Z")}, // S(ghost) = ∅: unrealizable
+		}),
+		hist([]QuorumPair{{Label: "all", M: ms("A", "B")}}),
+	})
+	if _, err := CheckHSigma(g, quora, labels); err != nil {
+		t.Errorf("unrealizable pair should be vacuous for safety: %v", err)
+	}
+}
+
+func TestCheckHSigmaValidity(t *testing.T) {
+	g := NewGroundTruth(ident.Assignment{"A"}, nil)
+	labels := NewStaticProbe([][]Sample[[]Label]{hist([]Label{"x"})})
+	quora := NewStaticProbe([][]Sample[[]QuorumPair]{
+		hist([]QuorumPair{
+			{Label: "x", M: ms("A")},
+			{Label: "x", M: ms("A", "A")},
+		}),
+	})
+	if _, err := CheckHSigma(g, quora, labels); err == nil || !strings.Contains(err.Error(), "validity") {
+		t.Errorf("err = %v, want validity failure", err)
+	}
+}
+
+func TestCheckHSigmaMonotonicity(t *testing.T) {
+	g := NewGroundTruth(ident.Assignment{"A"}, nil)
+
+	t.Run("labels shrink", func(t *testing.T) {
+		labels := NewStaticProbe([][]Sample[[]Label]{
+			hist([]Label{"x", "y"}, []Label{"x"}),
+		})
+		quora := NewStaticProbe([][]Sample[[]QuorumPair]{
+			hist([]QuorumPair{{Label: "x", M: ms("A")}}),
+		})
+		if _, err := CheckHSigma(g, quora, labels); err == nil || !strings.Contains(err.Error(), "monotonicity") {
+			t.Errorf("err = %v, want monotonicity failure", err)
+		}
+	})
+
+	t.Run("quorum pair dropped", func(t *testing.T) {
+		labels := NewStaticProbe([][]Sample[[]Label]{hist([]Label{"x"})})
+		quora := NewStaticProbe([][]Sample[[]QuorumPair]{
+			hist(
+				[]QuorumPair{{Label: "x", M: ms("A")}},
+				[]QuorumPair{},
+			),
+		})
+		if _, err := CheckHSigma(g, quora, labels); err == nil || !strings.Contains(err.Error(), "monotonicity") {
+			t.Errorf("err = %v, want monotonicity failure", err)
+		}
+	})
+
+	t.Run("quorum multiset may only shrink", func(t *testing.T) {
+		// Shrinking (x, {A,B}) to (x, {B}) is legal monotone behaviour and
+		// stays safe: every realization of either pair contains process 1
+		// (the only B).
+		g2 := NewGroundTruth(ident.Assignment{"A", "B"}, nil)
+		labels2 := NewStaticProbe([][]Sample[[]Label]{hist([]Label{"x"}), hist([]Label{"x"})})
+		quora2 := NewStaticProbe([][]Sample[[]QuorumPair]{
+			hist(
+				[]QuorumPair{{Label: "x", M: ms("A", "B")}},
+				[]QuorumPair{{Label: "x", M: ms("B")}},
+			),
+			hist([]QuorumPair{{Label: "x", M: ms("B")}}),
+		})
+		if _, err := CheckHSigma(g2, quora2, labels2); err != nil {
+			t.Errorf("shrinking multiset is monotone per the class: %v", err)
+		}
+	})
+}
+
+func TestDisjointRealizable(t *testing.T) {
+	ids := ident.Assignment{"A", "A", "B", "B"}
+	tests := []struct {
+		name   string
+		m1     []ident.ID
+		s1     []sim.PID
+		m2     []ident.ID
+		s2     []sim.PID
+		wantDj bool
+	}{
+		{"shared single supplier", []ident.ID{"B"}, []sim.PID{2}, []ident.ID{"B"}, []sim.PID{2}, false},
+		{"separate suppliers", []ident.ID{"B"}, []sim.PID{2}, []ident.ID{"B"}, []sim.PID{3}, true},
+		{"shared pool too small", []ident.ID{"A", "A"}, []sim.PID{0, 1}, []ident.ID{"A"}, []sim.PID{0, 1}, false},
+		{"overlap big enough", []ident.ID{"A"}, []sim.PID{0, 1}, []ident.ID{"A"}, []sim.PID{0, 1}, true},
+		{"cross identity independent", []ident.ID{"A", "B"}, []sim.PID{0, 2}, []ident.ID{"A", "B"}, []sim.PID{1, 3}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := disjointRealizable(ids, ms(tt.m1...), tt.s1, ms(tt.m2...), tt.s2)
+			if got != tt.wantDj {
+				t.Errorf("disjointRealizable = %v, want %v", got, tt.wantDj)
+			}
+		})
+	}
+}
+
+func TestCheckASigma(t *testing.T) {
+	g := NewGroundTruth(ident.AnonymousN(3), map[sim.PID]sim.Time{2: 5})
+	good := NewStaticProbe([][]Sample[[]APair]{
+		hist([]APair{{Label: "all", Y: 3}}, []APair{{Label: "all", Y: 3}, {Label: "c", Y: 2}}),
+		hist([]APair{{Label: "all", Y: 3}, {Label: "c", Y: 2}}),
+		nil,
+	})
+	// Membership: "all" held by p0, p1; "c" by p0, p1.
+	if _, err := CheckASigma(g, good); err != nil {
+		t.Fatalf("good AΣ history rejected: %v", err)
+	}
+
+	// Safety violation: (x,1) at p0 and (y,1) at p1 with disjoint members.
+	bad := NewStaticProbe([][]Sample[[]APair]{
+		hist([]APair{{Label: "x", Y: 1}}),
+		hist([]APair{{Label: "y", Y: 1}}),
+		nil,
+	})
+	if _, err := CheckASigma(g, bad); err == nil || !strings.Contains(err.Error(), "safety") {
+		t.Errorf("err = %v, want safety failure", err)
+	}
+
+	// Monotonicity: y may only decrease.
+	badMono := NewStaticProbe([][]Sample[[]APair]{
+		hist([]APair{{Label: "all", Y: 2}}, []APair{{Label: "all", Y: 3}}),
+		hist([]APair{{Label: "all", Y: 2}}),
+		nil,
+	})
+	if _, err := CheckASigma(g, badMono); err == nil || !strings.Contains(err.Error(), "monotonicity") {
+		t.Errorf("err = %v, want monotonicity failure", err)
+	}
+}

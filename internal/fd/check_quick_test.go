@@ -1,0 +1,139 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// bruteDisjoint decides ∃ disjoint realizations by exhaustive enumeration
+// over subsets of s1 and s2 — the ground truth the polynomial
+// disjointRealizable must match.
+func bruteDisjoint(ids ident.Assignment, m1 *multiset.Multiset[ident.ID], s1 []sim.PID, m2 *multiset.Multiset[ident.ID], s2 []sim.PID) bool {
+	reals := func(m *multiset.Multiset[ident.ID], s []sim.PID) []map[sim.PID]bool {
+		var out []map[sim.PID]bool
+		k := len(s)
+		for mask := 0; mask < 1<<k; mask++ {
+			pick := multiset.New[ident.ID]()
+			set := make(map[sim.PID]bool)
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					pick.Add(ids[s[i]])
+					set[s[i]] = true
+				}
+			}
+			if pick.Equal(m) {
+				out = append(out, set)
+			}
+		}
+		return out
+	}
+	for _, q1 := range reals(m1, s1) {
+		for _, q2 := range reals(m2, s2) {
+			disjoint := true
+			for p := range q1 {
+				if q2[p] {
+					disjoint = false
+					break
+				}
+			}
+			if disjoint {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestDisjointRealizableMatchesBruteForce cross-checks the per-identifier
+// counting criterion against exhaustive enumeration on random small
+// instances (the criterion is where HΣ safety checking gets its
+// polynomial bound, so it must be exact).
+func TestDisjointRealizableMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		idSpace := []ident.ID{"A", "B", "C"}
+		ids := make(ident.Assignment, n)
+		for i := range ids {
+			ids[i] = idSpace[r.Intn(len(idSpace))]
+		}
+		randSet := func() []sim.PID {
+			var s []sim.PID
+			for p := 0; p < n; p++ {
+				if r.Intn(2) == 0 {
+					s = append(s, sim.PID(p))
+				}
+			}
+			return s
+		}
+		randDemand := func(s []sim.PID) *multiset.Multiset[ident.ID] {
+			m := multiset.New[ident.ID]()
+			if len(s) == 0 {
+				m.Add(idSpace[r.Intn(len(idSpace))])
+				return m
+			}
+			// Mostly realizable demands: sample from the set's ids.
+			k := 1 + r.Intn(len(s))
+			for i := 0; i < k; i++ {
+				m.Add(ids[s[r.Intn(len(s))]])
+			}
+			return m
+		}
+		s1, s2 := randSet(), randSet()
+		m1, m2 := randDemand(s1), randDemand(s2)
+		if !realizable(ids, m1, s1) || !realizable(ids, m2, s2) {
+			// The criterion is only consulted for realizable pairs.
+			return true
+		}
+		return disjointRealizable(ids, m1, s1, m2, s2) == bruteDisjoint(ids, m1, s1, m2, s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRealizableMatchesBruteForce: realizable(m, S) iff some subset of S
+// realizes m exactly.
+func TestRealizableMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		idSpace := []ident.ID{"A", "B"}
+		ids := make(ident.Assignment, n)
+		for i := range ids {
+			ids[i] = idSpace[r.Intn(len(idSpace))]
+		}
+		var s []sim.PID
+		for p := 0; p < n; p++ {
+			if r.Intn(2) == 0 {
+				s = append(s, sim.PID(p))
+			}
+		}
+		m := multiset.New[ident.ID]()
+		for i := 0; i < r.Intn(4); i++ {
+			m.Add(idSpace[r.Intn(len(idSpace))])
+		}
+		brute := false
+		for mask := 0; mask < 1<<len(s); mask++ {
+			pick := multiset.New[ident.ID]()
+			for i := range s {
+				if mask&(1<<i) != 0 {
+					pick.Add(ids[s[i]])
+				}
+			}
+			if pick.Equal(m) {
+				brute = true
+				break
+			}
+		}
+		return realizable(ids, m, s) == brute
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

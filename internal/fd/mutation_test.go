@@ -1,0 +1,153 @@
+package fd
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// Mutation tests: start from a class-valid execution history and apply a
+// catalogue of realistic corruptions; every corruption must be rejected by
+// the corresponding checker. This guards the guards — a checker that
+// silently stopped checking would otherwise green-light everything.
+
+func validHSigmaHistory() (*GroundTruth, [][]Sample[[]QuorumPair], [][]Sample[[]Label]) {
+	// 4 processes, ids A A B C, p1 crashes at t=10. Stable behaviour:
+	// everyone first holds ("all", {A,A,B,C}), later the correct ones add
+	// ("corr", {A,B,C}).
+	g := NewGroundTruth(ident.Assignment{"A", "A", "B", "C"}, map[sim.PID]sim.Time{1: 10})
+	all := ms("A", "A", "B", "C")
+	corr := ms("A", "B", "C")
+	labels := [][]Sample[[]Label]{
+		hist([]Label{"all"}, []Label{"all", "corr"}),
+		hist([]Label{"all"}),
+		hist([]Label{"all"}, []Label{"all", "corr"}),
+		hist([]Label{"all"}, []Label{"all", "corr"}),
+	}
+	quora := [][]Sample[[]QuorumPair]{
+		hist(
+			[]QuorumPair{{Label: "all", M: all}},
+			[]QuorumPair{{Label: "all", M: all}, {Label: "corr", M: corr}},
+		),
+		hist([]QuorumPair{{Label: "all", M: all}}),
+		hist(
+			[]QuorumPair{{Label: "all", M: all}},
+			[]QuorumPair{{Label: "all", M: all}, {Label: "corr", M: corr}},
+		),
+		hist(
+			[]QuorumPair{{Label: "all", M: all}},
+			[]QuorumPair{{Label: "all", M: all}, {Label: "corr", M: corr}},
+		),
+	}
+	return g, quora, labels
+}
+
+func TestHSigmaMutationCatalogue(t *testing.T) {
+	base := func() (*GroundTruth, [][]Sample[[]QuorumPair], [][]Sample[[]Label]) {
+		return validHSigmaHistory()
+	}
+
+	t.Run("baseline is valid", func(t *testing.T) {
+		g, q, l := base()
+		if _, err := CheckHSigma(g, NewStaticProbe(q), NewStaticProbe(l)); err != nil {
+			t.Fatalf("baseline rejected: %v", err)
+		}
+	})
+
+	mutations := []struct {
+		name   string
+		mutate func(q [][]Sample[[]QuorumPair], l [][]Sample[[]Label])
+	}{
+		{"duplicate label in one sample", func(q [][]Sample[[]QuorumPair], l [][]Sample[[]Label]) {
+			last := &q[0][len(q[0])-1]
+			last.Value = append(last.Value, QuorumPair{Label: "all", M: ms("A")})
+		}},
+		{"label set shrinks", func(q [][]Sample[[]QuorumPair], l [][]Sample[[]Label]) {
+			l[0] = append(l[0], Sample[[]Label]{Time: 99, Value: []Label{"corr"}})
+		}},
+		{"quorum pair vanishes", func(q [][]Sample[[]QuorumPair], l [][]Sample[[]Label]) {
+			q[2] = append(q[2], Sample[[]QuorumPair]{Time: 99, Value: []QuorumPair{{Label: "corr", M: ms("A", "B", "C")}}})
+		}},
+		{"quorum multiset grows", func(q [][]Sample[[]QuorumPair], l [][]Sample[[]Label]) {
+			q[3] = append(q[3], Sample[[]QuorumPair]{Time: 99, Value: []QuorumPair{
+				{Label: "all", M: ms("A", "A", "A", "B", "C")},
+				{Label: "corr", M: ms("A", "B", "C")},
+			}})
+		}},
+		{"liveness lost: final quorum demands the crashed homonym", func(q [][]Sample[[]QuorumPair], l [][]Sample[[]Label]) {
+			for p := 0; p < 4; p++ {
+				if p == 1 {
+					continue
+				}
+				// Rewrite history: the only pair ever held demands both As.
+				q[p] = hist([]QuorumPair{{Label: "all", M: ms("A", "A")}})
+			}
+		}},
+		{"safety lost: two disjoint singleton quora", func(q [][]Sample[[]QuorumPair], l [][]Sample[[]Label]) {
+			// p2 alone holds label "x"; p3 alone holds "y". Singleton
+			// quora over disjoint member sets can be realized disjointly.
+			l[2] = append(l[2], Sample[[]Label]{Time: 99, Value: []Label{"all", "corr", "x"}})
+			l[3] = append(l[3], Sample[[]Label]{Time: 99, Value: []Label{"all", "corr", "y"}})
+			q[2] = append(q[2], Sample[[]QuorumPair]{Time: 100, Value: []QuorumPair{
+				{Label: "all", M: ms("A", "A", "B", "C")}, {Label: "corr", M: ms("A", "B", "C")},
+				{Label: "x", M: ms("B")},
+			}})
+			q[3] = append(q[3], Sample[[]QuorumPair]{Time: 100, Value: []QuorumPair{
+				{Label: "all", M: ms("A", "A", "B", "C")}, {Label: "corr", M: ms("A", "B", "C")},
+				{Label: "y", M: ms("C")},
+			}})
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			g, q, l := base()
+			m.mutate(q, l)
+			if _, err := CheckHSigma(g, NewStaticProbe(q), NewStaticProbe(l)); err == nil {
+				t.Error("mutated history accepted")
+			}
+		})
+	}
+}
+
+func TestDiamondHPbarMutationCatalogue(t *testing.T) {
+	g := NewGroundTruth(ident.Assignment{"A", "A", "B"}, map[sim.PID]sim.Time{0: 10})
+	valid := func() [][]Sample[*multiset.Multiset[ident.ID]] {
+		return [][]Sample[*multiset.Multiset[ident.ID]]{
+			nil,
+			hist(ms("A", "A", "B"), ms("A", "B")),
+			hist(ms("A", "B")),
+		}
+	}
+	if _, err := CheckDiamondHPbar(g, NewStaticProbe(valid())); err != nil {
+		t.Fatalf("baseline rejected: %v", err)
+	}
+
+	mutations := []struct {
+		name   string
+		mutate func(h [][]Sample[*multiset.Multiset[ident.ID]])
+	}{
+		{"keeps trusting the crashed homonym", func(h [][]Sample[*multiset.Multiset[ident.ID]]) {
+			h[1] = hist(ms("A", "A", "B"))
+		}},
+		{"drops a correct process", func(h [][]Sample[*multiset.Multiset[ident.ID]]) {
+			h[2] = append(h[2], Sample[*multiset.Multiset[ident.ID]]{Time: 99, Value: ms("A")})
+		}},
+		{"wrong multiplicity", func(h [][]Sample[*multiset.Multiset[ident.ID]]) {
+			h[1] = append(h[1], Sample[*multiset.Multiset[ident.ID]]{Time: 99, Value: ms("A", "B", "B")})
+		}},
+		{"silent process", func(h [][]Sample[*multiset.Multiset[ident.ID]]) {
+			h[1] = nil
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			h := valid()
+			m.mutate(h)
+			if _, err := CheckDiamondHPbar(g, NewStaticProbe(h)); err == nil {
+				t.Error("mutated history accepted")
+			}
+		})
+	}
+}

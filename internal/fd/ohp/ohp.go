@@ -1,0 +1,213 @@
+// Package ohp implements the paper's Figure 6: a failure detector of class
+// ◇HP̄ in the partially synchronous homonymous system HPS[∅] (processes
+// partially synchronous, links eventually timely), without initial
+// knowledge of the membership (Theorem 5). With the trivial extension of
+// Corollary 2 / Observation 1 the same detector also provides class HΩ at
+// no additional communication cost.
+//
+// The algorithm is polling-based and proceeds in locally-paced rounds:
+//
+//   - Task T1: in round r, broadcast (POLLING, r, id(p)), wait timeoutₚ,
+//     then gather into h_trustedₚ one identifier instance per
+//     (P_REPLY, ρ, ρ′, id(p), id(q)) received with ρ ≤ r ≤ ρ′.
+//   - Task T2: upon (POLLING, r_q, id_q), reply once per identifier with a
+//     (P_REPLY, latest+1, r_q, id_q, id(p)) covering all rounds not yet
+//     answered for identifier id_q; track latest_r[id_q]. Replies are
+//     broadcast, so all homonyms of id_q benefit from one reply.
+//   - Adaptation: receiving a P_REPLY addressed to id(p) for an
+//     already-finished round (ρ < rₚ) reveals the timeout is too short and
+//     increments it. After GST the timeout stops growing (Lemma 5) and
+//     h_trustedₚ equals I(Correct) forever (Theorem 5).
+//
+// Because replies are addressed to identifiers rather than processes, the
+// multiplicity of id(q) gathered in a round equals the number of distinct
+// responding processes carrying id(q) — which is how the output converges
+// to the multiset I(Correct) rather than a set.
+package ohp
+
+import (
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// Polling is the (POLLING, r, id) message.
+type Polling struct {
+	Round int
+	ID    ident.ID
+}
+
+// MsgTag implements sim.Tagger.
+func (Polling) MsgTag() string { return "POLLING" }
+
+// Reply is the (P_REPLY, r, r', dest, sender) message: it answers all
+// POLLING rounds r..r' of identifier Dest; Sender is the responder's
+// identifier.
+type Reply struct {
+	From, To int // covered round interval [From, To]
+	Dest     ident.ID
+	Sender   ident.ID
+}
+
+// MsgTag implements sim.Tagger.
+func (Reply) MsgTag() string { return "P_REPLY" }
+
+const timerRound = 0
+
+// Detector is the per-process Figure 6 instance. It implements
+// sim.Process, fd.DiamondHPbar and fd.HOmega.
+type Detector struct {
+	env     sim.Environment
+	round   int
+	timeout sim.Time
+	trusted *multiset.Multiset[ident.ID]
+	hasOut  bool
+
+	mship   map[ident.ID]bool
+	latestR map[ident.ID]int
+
+	// pending holds received replies addressed to id(p) whose interval can
+	// still cover the current or a future round.
+	pending []Reply
+
+	// adapt enables the timeout-adaptation rule of Lines 33–34. It is on
+	// in New; NewFixedTimeout disables it for the ablation experiment that
+	// shows why the rule is necessary (a fixed timeout below 2δ+γ keeps
+	// closing rounds before replies arrive, so h_trusted flaps forever).
+	adapt bool
+}
+
+var (
+	_ sim.Process     = (*Detector)(nil)
+	_ fd.DiamondHPbar = (*Detector)(nil)
+	_ fd.HOmega       = (*Detector)(nil)
+)
+
+// New creates a detector.
+func New() *Detector {
+	return &Detector{
+		round:   1,
+		timeout: 1,
+		adapt:   true,
+		trusted: multiset.New[ident.ID](),
+		mship:   make(map[ident.ID]bool),
+		latestR: make(map[ident.ID]int),
+	}
+}
+
+// NewFixedTimeout creates the ABLATED detector whose timeout never adapts
+// (Lines 33–34 removed). It is NOT a class-◇HP̄ implementation in HPS —
+// the ablation experiment (E16) demonstrates exactly that — but converges
+// when the fixed timeout happens to exceed the (unknown!) 2δ+γ bound,
+// illustrating why adaptivity, not magic constants, is the right design.
+func NewFixedTimeout(timeout sim.Time) *Detector {
+	d := New()
+	d.adapt = false
+	if timeout >= 1 {
+		d.timeout = timeout
+	}
+	return d
+}
+
+// Init implements sim.Process: start round 1.
+func (d *Detector) Init(env sim.Environment) {
+	d.env = env
+	env.Broadcast(Polling{Round: d.round, ID: env.ID()})
+	env.SetTimer(d.timeout, timerRound)
+}
+
+// OnTimer implements sim.Process: close the current round (gather
+// h_trusted), then open the next one.
+func (d *Detector) OnTimer(int) {
+	tmp := multiset.New[ident.ID]()
+	for _, rep := range d.pending {
+		if rep.From <= d.round && d.round <= rep.To {
+			tmp.Add(rep.Sender)
+		}
+	}
+	d.trusted = tmp
+	d.hasOut = true
+	d.round++
+
+	// Prune replies that can no longer cover any round >= d.round.
+	kept := d.pending[:0]
+	for _, rep := range d.pending {
+		if rep.To >= d.round {
+			kept = append(kept, rep)
+		}
+	}
+	d.pending = kept
+
+	d.env.Broadcast(Polling{Round: d.round, ID: d.env.ID()})
+	d.env.SetTimer(d.timeout, timerRound)
+}
+
+// OnMessage implements sim.Process (Task T2 and timeout adaptation).
+func (d *Detector) OnMessage(payload any) {
+	switch m := payload.(type) {
+	case Polling:
+		d.onPolling(m)
+	case Reply:
+		d.onReply(m)
+	}
+}
+
+func (d *Detector) onPolling(m Polling) {
+	if !d.mship[m.ID] {
+		d.mship[m.ID] = true
+		d.latestR[m.ID] = 0
+	}
+	if d.latestR[m.ID] < m.Round {
+		d.env.Broadcast(Reply{
+			From:   d.latestR[m.ID] + 1,
+			To:     m.Round,
+			Dest:   m.ID,
+			Sender: d.env.ID(),
+		})
+		d.latestR[m.ID] = m.Round
+	}
+}
+
+func (d *Detector) onReply(m Reply) {
+	if m.Dest != d.env.ID() {
+		return
+	}
+	if m.From < d.round && d.adapt {
+		// Outdated reply: the round it answers already closed, so the
+		// timeout was too short (Lines 33–34).
+		d.timeout++
+	}
+	if m.To >= d.round {
+		d.pending = append(d.pending, m)
+	}
+}
+
+// Trusted implements fd.DiamondHPbar: the current h_trustedₚ multiset.
+func (d *Detector) Trusted() *multiset.Multiset[ident.ID] {
+	return d.trusted.Clone()
+}
+
+// Leader implements fd.HOmega via Corollary 2: the smallest identifier of
+// h_trustedₚ with its multiplicity. ok is false until the first round
+// closed or while h_trustedₚ is empty.
+func (d *Detector) Leader() (fd.LeaderInfo, bool) {
+	if !d.hasOut {
+		return fd.LeaderInfo{}, false
+	}
+	id, ok := d.trusted.Min()
+	if !ok {
+		return fd.LeaderInfo{}, false
+	}
+	return fd.LeaderInfo{ID: id, Multiplicity: d.trusted.Count(id)}, true
+}
+
+// Round returns the current round number (experiments observability).
+func (d *Detector) Round() int { return d.round }
+
+// Timeout returns the adapted timeout (experiments observability).
+func (d *Detector) Timeout() sim.Time { return d.timeout }
+
+// MembershipSize returns |mshipₚ|, the number of identifiers learned so
+// far — how much membership knowledge polling has recovered.
+func (d *Detector) MembershipSize() int { return len(d.mship) }

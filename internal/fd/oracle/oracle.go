@@ -1,0 +1,307 @@
+// Package oracle provides failure detectors driven by the simulator's
+// global knowledge instead of messages. Oracles serve two purposes:
+//
+//   - They let each consensus algorithm be exercised against the detector
+//     *class* rather than one implementation: before a configurable
+//     stabilization time the oracle may emit arbitrary (adversarial)
+//     outputs that the class permits, and only afterwards the stable ones.
+//   - They provide the reduction sources (AP, AΣ, Σ) whose own
+//     implementations the paper does not include.
+//
+// An oracle is constructed per process from a shared World describing the
+// ground truth. Oracles exchange no messages; their cost is zero, which
+// makes consensus-layer costs in experiments attributable to consensus
+// alone.
+package oracle
+
+import (
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// World is the shared ground truth oracles consult. Stabilize is the
+// virtual time from which outputs are stable and truthful; before it,
+// behaviour depends on the oracle's adversary mode.
+type World struct {
+	Truth     *fd.GroundTruth
+	Stabilize sim.Time
+}
+
+// NewWorld builds a World.
+func NewWorld(truth *fd.GroundTruth, stabilize sim.Time) *World {
+	return &World{Truth: truth, Stabilize: stabilize}
+}
+
+func (w *World) stable(now sim.Time) bool { return now >= w.Stabilize }
+
+// Adversary selects the pre-stabilization behaviour of leader oracles.
+type Adversary int
+
+const (
+	// AdversaryNone outputs the stable value from the start.
+	AdversaryNone Adversary = iota
+	// AdversaryRotate cycles the elected identifier through all
+	// identifiers in the system (with wrong multiplicities), changing
+	// every RotatePeriod time units — the classic flapping-leader
+	// adversary consensus must tolerate.
+	AdversaryRotate
+	// AdversarySplit makes different processes see different leaders
+	// (each process sees a leader offset by its own index), violating
+	// agreement until stabilization.
+	AdversarySplit
+)
+
+// RotatePeriod is the flapping period of AdversaryRotate/AdversarySplit.
+const RotatePeriod = 7
+
+// HOmega is an HΩ-class oracle for one process.
+type HOmega struct {
+	w    *World
+	env  sim.Environment
+	mode Adversary
+}
+
+var _ fd.HOmega = (*HOmega)(nil)
+
+// NewHOmega builds the oracle for one process; attach it to the process's
+// node so it can observe virtual time.
+func NewHOmega(w *World, mode Adversary) *HOmega {
+	return &HOmega{w: w, mode: mode}
+}
+
+// Init implements sim.Process.
+func (o *HOmega) Init(env sim.Environment) { o.env = env }
+
+// OnMessage implements sim.Process; oracles use no messages.
+func (o *HOmega) OnMessage(any) {}
+
+// OnTimer implements sim.Process; oracles use no timers.
+func (o *HOmega) OnTimer(int) {}
+
+// Leader implements fd.HOmega.
+func (o *HOmega) Leader() (fd.LeaderInfo, bool) {
+	now := o.env.Now()
+	if o.w.stable(now) || o.mode == AdversaryNone {
+		return o.w.Truth.ExpectedLeader()
+	}
+	ids := o.w.Truth.IDs
+	k := int(now / RotatePeriod)
+	if o.mode == AdversarySplit {
+		k += int(o.env.PID())
+	}
+	id := ids[k%ids.N()]
+	// Multiplicity is deliberately unreliable pre-stabilization: the class
+	// constrains only the eventual output.
+	return fd.LeaderInfo{ID: id, Multiplicity: 1 + k%2}, true
+}
+
+// DiamondHPbar is a ◇HP̄-class oracle: it trusts I(alive(now)) before
+// stabilization (a natural over-approximation) and I(Correct) afterwards.
+type DiamondHPbar struct {
+	w   *World
+	env sim.Environment
+}
+
+var _ fd.DiamondHPbar = (*DiamondHPbar)(nil)
+
+// NewDiamondHPbar builds the oracle.
+func NewDiamondHPbar(w *World) *DiamondHPbar { return &DiamondHPbar{w: w} }
+
+// Init implements sim.Process.
+func (o *DiamondHPbar) Init(env sim.Environment) { o.env = env }
+
+// OnMessage implements sim.Process.
+func (o *DiamondHPbar) OnMessage(any) {}
+
+// OnTimer implements sim.Process.
+func (o *DiamondHPbar) OnTimer(int) {}
+
+// Trusted implements fd.DiamondHPbar.
+func (o *DiamondHPbar) Trusted() *multiset.Multiset[ident.ID] {
+	now := o.env.Now()
+	if o.w.stable(now) {
+		return o.w.Truth.CorrectIDs()
+	}
+	m := multiset.New[ident.ID]()
+	for _, p := range o.w.Truth.AliveAt(now) {
+		m.Add(o.w.Truth.IDs[p])
+	}
+	return m
+}
+
+// AP is an AP-class oracle: the current number of alive processes (always
+// a safe upper bound that converges to |Correct| once all crashes fired).
+type AP struct {
+	w   *World
+	env sim.Environment
+	// Slack inflates pre-stabilization outputs, exercising consumers that
+	// must tolerate loose upper bounds.
+	Slack int
+}
+
+var _ fd.AP = (*AP)(nil)
+
+// NewAP builds the oracle.
+func NewAP(w *World, slack int) *AP { return &AP{w: w, Slack: slack} }
+
+// Init implements sim.Process.
+func (o *AP) Init(env sim.Environment) { o.env = env }
+
+// OnMessage implements sim.Process.
+func (o *AP) OnMessage(any) {}
+
+// OnTimer implements sim.Process.
+func (o *AP) OnTimer(int) {}
+
+// AliveCount implements fd.AP.
+func (o *AP) AliveCount() int {
+	now := o.env.Now()
+	alive := len(o.w.Truth.AliveAt(now))
+	if !o.w.stable(now) {
+		return alive + o.Slack
+	}
+	return alive
+}
+
+// Sigma is a Σ-class oracle for unique-identifier systems: before
+// stabilization it trusts I(Π) (safe: all quorums intersect), afterwards
+// I(Correct). With a majority of correct processes one could emit majority
+// quorums; the oracle keeps the simplest class-valid behaviour.
+type Sigma struct {
+	w   *World
+	env sim.Environment
+}
+
+var _ fd.Sigma = (*Sigma)(nil)
+
+// NewSigma builds the oracle.
+func NewSigma(w *World) *Sigma { return &Sigma{w: w} }
+
+// Init implements sim.Process.
+func (o *Sigma) Init(env sim.Environment) { o.env = env }
+
+// OnMessage implements sim.Process.
+func (o *Sigma) OnMessage(any) {}
+
+// OnTimer implements sim.Process.
+func (o *Sigma) OnTimer(int) {}
+
+// TrustedQuorum implements fd.Sigma.
+func (o *Sigma) TrustedQuorum() *multiset.Multiset[ident.ID] {
+	if o.w.stable(o.env.Now()) {
+		return o.w.Truth.CorrectIDs()
+	}
+	return o.w.Truth.IDs.I()
+}
+
+// ASigma is an AΣ-class oracle. It emits ("all", n) always and, once
+// stable, additionally ("corr", |Correct|). Both pairs are class-safe:
+// sub-quora of size n and |Correct| over their member sets always
+// intersect (the correct set is non-empty).
+type ASigma struct {
+	w   *World
+	env sim.Environment
+}
+
+var _ fd.ASigma = (*ASigma)(nil)
+
+// NewASigma builds the oracle.
+func NewASigma(w *World) *ASigma { return &ASigma{w: w} }
+
+// Init implements sim.Process.
+func (o *ASigma) Init(env sim.Environment) { o.env = env }
+
+// OnMessage implements sim.Process.
+func (o *ASigma) OnMessage(any) {}
+
+// OnTimer implements sim.Process.
+func (o *ASigma) OnTimer(int) {}
+
+// ASigma implements fd.ASigma.
+func (o *ASigma) ASigma() []fd.APair {
+	pairs := []fd.APair{{Label: "all", Y: o.w.Truth.IDs.N()}}
+	if o.w.stable(o.env.Now()) {
+		pairs = append(pairs, fd.APair{Label: "corr", Y: len(o.w.Truth.Correct())})
+	}
+	return pairs
+}
+
+// HSigma is an HΣ-class oracle: label "all" ↦ I(Π) always, and once stable
+// label "corr" ↦ I(Correct) with membership of all correct processes.
+type HSigma struct {
+	w   *World
+	env sim.Environment
+}
+
+var _ fd.HSigma = (*HSigma)(nil)
+
+// NewHSigma builds the oracle.
+func NewHSigma(w *World) *HSigma { return &HSigma{w: w} }
+
+// Init implements sim.Process.
+func (o *HSigma) Init(env sim.Environment) { o.env = env }
+
+// OnMessage implements sim.Process.
+func (o *HSigma) OnMessage(any) {}
+
+// OnTimer implements sim.Process.
+func (o *HSigma) OnTimer(int) {}
+
+// Quora implements fd.HSigma.
+func (o *HSigma) Quora() []fd.QuorumPair {
+	pairs := []fd.QuorumPair{{Label: "all", M: o.w.Truth.IDs.I()}}
+	if o.w.stable(o.env.Now()) {
+		pairs = append(pairs, fd.QuorumPair{Label: "corr", M: o.w.Truth.CorrectIDs()})
+	}
+	return pairs
+}
+
+// Labels implements fd.HSigma. Every process participates in "all"; the
+// correct ones (and crashed ones too — membership of S(x) may include
+// faulty processes) participate in "corr" once stable.
+func (o *HSigma) Labels() []fd.Label {
+	ls := []fd.Label{"all"}
+	if o.w.stable(o.env.Now()) && o.w.Truth.IsCorrect(o.env.PID()) {
+		ls = append(ls, "corr")
+	}
+	return ls
+}
+
+// AOmega is an AΩ-class oracle: after stabilization exactly the lowest-
+// indexed correct process holds the flag.
+type AOmega struct {
+	w    *World
+	env  sim.Environment
+	mode Adversary
+}
+
+var _ fd.AOmega = (*AOmega)(nil)
+
+// NewAOmega builds the oracle.
+func NewAOmega(w *World, mode Adversary) *AOmega { return &AOmega{w: w, mode: mode} }
+
+// Init implements sim.Process.
+func (o *AOmega) Init(env sim.Environment) { o.env = env }
+
+// OnMessage implements sim.Process.
+func (o *AOmega) OnMessage(any) {}
+
+// OnTimer implements sim.Process.
+func (o *AOmega) OnTimer(int) {}
+
+// IsLeader implements fd.AOmega.
+func (o *AOmega) IsLeader() bool {
+	now := o.env.Now()
+	if !o.w.stable(now) {
+		switch o.mode {
+		case AdversaryRotate:
+			return int(now/RotatePeriod)%o.w.Truth.IDs.N() == int(o.env.PID())
+		case AdversarySplit:
+			return true // everyone believes they lead
+		}
+	}
+	correct := o.w.Truth.Correct()
+	return len(correct) > 0 && correct[0] == o.env.PID()
+}

@@ -1,0 +1,231 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// ticker keeps virtual time moving so that time-driven oracle outputs are
+// observed; oracles themselves are passive.
+type ticker struct{ env sim.Environment }
+
+func (tk *ticker) Init(env sim.Environment) { tk.env = env; env.SetTimer(1, 0) }
+func (tk *ticker) OnMessage(any)            {}
+func (tk *ticker) OnTimer(tag int)          { tk.env.SetTimer(1, tag) }
+
+type fixture struct {
+	eng   *sim.Engine
+	truth *fd.GroundTruth
+	world *World
+}
+
+func newFixture(ids ident.Assignment, crashes map[sim.PID]sim.Time, stabilize sim.Time, build func(w *World, i int) sim.Process) *fixture {
+	eng := sim.New(sim.Config{IDs: ids, Seed: 1})
+	truth := fd.NewGroundTruth(ids, crashes)
+	world := NewWorld(truth, stabilize)
+	for i := 0; i < ids.N(); i++ {
+		node := sim.NewNode().Add("tick", &ticker{}).Add("fd", build(world, i))
+		eng.AddProcess(node)
+	}
+	for p, at := range crashes {
+		eng.CrashAt(p, at)
+	}
+	return &fixture{eng: eng, truth: truth, world: world}
+}
+
+func TestHOmegaOracleAllAdversaries(t *testing.T) {
+	ids := ident.Assignment{"a", "a", "b"}
+	crashes := map[sim.PID]sim.Time{0: 30}
+	for _, mode := range []Adversary{AdversaryNone, AdversaryRotate, AdversarySplit} {
+		oracles := make([]*HOmega, ids.N())
+		fx := newFixture(ids, crashes, 100, func(w *World, i int) sim.Process {
+			oracles[i] = NewHOmega(w, mode)
+			return oracles[i]
+		})
+		pr := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) (fd.LeaderInfo, bool) {
+			if fx.eng.Crashed(p) {
+				return fd.LeaderInfo{}, false
+			}
+			return oracles[p].Leader()
+		}, func(a, b fd.LeaderInfo) bool { return a == b })
+		fx.eng.Run(300)
+		if _, err := fd.CheckHOmega(fx.truth, pr); err != nil {
+			t.Errorf("mode %d: %v", mode, err)
+		}
+		li, _ := oracles[1].Leader()
+		if li.ID != "a" || li.Multiplicity != 1 {
+			t.Errorf("mode %d: leader = %v, want (a, 1): p0 crashed so only one 'a' is correct", mode, li)
+		}
+	}
+}
+
+func TestHOmegaOracleFlapsBeforeStabilization(t *testing.T) {
+	ids := ident.Unique(4)
+	oracles := make([]*HOmega, ids.N())
+	fx := newFixture(ids, nil, 200, func(w *World, i int) sim.Process {
+		oracles[i] = NewHOmega(w, AdversaryRotate)
+		return oracles[i]
+	})
+	pr := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) (fd.LeaderInfo, bool) {
+		return oracles[p].Leader()
+	}, func(a, b fd.LeaderInfo) bool { return a == b })
+	fx.eng.Run(400)
+	if len(pr.History(0)) < 3 {
+		t.Errorf("rotating adversary produced only %d distinct outputs; no flapping", len(pr.History(0)))
+	}
+	if _, err := fd.CheckHOmega(fx.truth, pr); err != nil {
+		t.Errorf("flapping must still satisfy the class eventually: %v", err)
+	}
+}
+
+func TestDiamondHPbarOracle(t *testing.T) {
+	ids := ident.Balanced(5, 2)
+	crashes := map[sim.PID]sim.Time{2: 40}
+	oracles := make([]*DiamondHPbar, ids.N())
+	fx := newFixture(ids, crashes, 100, func(w *World, i int) sim.Process {
+		oracles[i] = NewDiamondHPbar(w)
+		return oracles[i]
+	})
+	pr := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
+		if fx.eng.Crashed(p) {
+			return nil, false
+		}
+		return oracles[p].Trusted(), true
+	}, func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) })
+	fx.eng.Run(300)
+	if _, err := fd.CheckDiamondHPbar(fx.truth, pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPOracleWithSlack(t *testing.T) {
+	ids := ident.AnonymousN(4)
+	crashes := map[sim.PID]sim.Time{1: 50}
+	oracles := make([]*AP, ids.N())
+	fx := newFixture(ids, crashes, 120, func(w *World, i int) sim.Process {
+		oracles[i] = NewAP(w, 2)
+		return oracles[i]
+	})
+	pr := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) (int, bool) {
+		if fx.eng.Crashed(p) {
+			return 0, false
+		}
+		return oracles[p].AliveCount(), true
+	}, func(a, b int) bool { return a == b })
+	fx.eng.Run(300)
+	if _, err := fd.CheckAP(fx.truth, pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmaOracle(t *testing.T) {
+	ids := ident.Unique(4)
+	crashes := map[sim.PID]sim.Time{3: 60}
+	oracles := make([]*Sigma, ids.N())
+	fx := newFixture(ids, crashes, 150, func(w *World, i int) sim.Process {
+		oracles[i] = NewSigma(w)
+		return oracles[i]
+	})
+	pr := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
+		if fx.eng.Crashed(p) {
+			return nil, false
+		}
+		return oracles[p].TrustedQuorum(), true
+	}, func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) })
+	fx.eng.Run(400)
+	if _, err := fd.CheckSigma(fx.truth, pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASigmaOracle(t *testing.T) {
+	ids := ident.AnonymousN(5)
+	crashes := map[sim.PID]sim.Time{0: 40, 1: 70}
+	oracles := make([]*ASigma, ids.N())
+	fx := newFixture(ids, crashes, 150, func(w *World, i int) sim.Process {
+		oracles[i] = NewASigma(w)
+		return oracles[i]
+	})
+	pr := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) ([]fd.APair, bool) {
+		if fx.eng.Crashed(p) {
+			return nil, false
+		}
+		return oracles[p].ASigma(), true
+	}, func(a, b []fd.APair) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	})
+	fx.eng.Run(400)
+	if _, err := fd.CheckASigma(fx.truth, pr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHSigmaOracle(t *testing.T) {
+	ids := ident.Assignment{"A", "A", "B"}
+	crashes := map[sim.PID]sim.Time{1: 30}
+	oracles := make([]*HSigma, ids.N())
+	fx := newFixture(ids, crashes, 100, func(w *World, i int) sim.Process {
+		oracles[i] = NewHSigma(w)
+		return oracles[i]
+	})
+	quora := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) ([]fd.QuorumPair, bool) {
+		if fx.eng.Crashed(p) {
+			return nil, false
+		}
+		return oracles[p].Quora(), true
+	}, func(a, b []fd.QuorumPair) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i].Label != b[i].Label || !a[i].M.Equal(b[i].M) {
+				return false
+			}
+		}
+		return true
+	})
+	labels := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) ([]fd.Label, bool) {
+		if fx.eng.Crashed(p) {
+			return nil, false
+		}
+		return oracles[p].Labels(), true
+	}, fd.LabelsEqual)
+	fx.eng.Run(300)
+	if _, err := fd.CheckHSigma(fx.truth, quora, labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAOmegaOracle(t *testing.T) {
+	ids := ident.AnonymousN(4)
+	crashes := map[sim.PID]sim.Time{0: 30}
+	for _, mode := range []Adversary{AdversaryNone, AdversaryRotate, AdversarySplit} {
+		oracles := make([]*AOmega, ids.N())
+		fx := newFixture(ids, crashes, 100, func(w *World, i int) sim.Process {
+			oracles[i] = NewAOmega(w, mode)
+			return oracles[i]
+		})
+		pr := fd.NewProbe(fx.eng, ids.N(), func(p sim.PID) (bool, bool) {
+			if fx.eng.Crashed(p) {
+				return false, false
+			}
+			return oracles[p].IsLeader(), true
+		}, func(a, b bool) bool { return a == b })
+		fx.eng.Run(300)
+		if _, err := fd.CheckAOmega(fx.truth, pr); err != nil {
+			t.Errorf("mode %d: %v", mode, err)
+		}
+	}
+}

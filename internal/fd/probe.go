@@ -1,0 +1,96 @@
+package fd
+
+import (
+	"repro/internal/sim"
+)
+
+// Sample is one timed observation of a detector output at one process.
+type Sample[T any] struct {
+	Time  sim.Time
+	Value T
+}
+
+// Probe collects, per process, the history of a detector output. It
+// samples after every simulator event (the only instants outputs can
+// change) and stores a new sample only when the value changed, so the
+// history is the exact sequence of distinct outputs with their first
+// occurrence times.
+type Probe[T any] struct {
+	histories [][]Sample[T]
+}
+
+// NewProbe attaches a probe to the engine. get returns the current output
+// of process p (ok=false while the process has no output or has crashed);
+// eq decides whether two outputs are equal.
+func NewProbe[T any](eng *sim.Engine, n int, get func(p sim.PID) (T, bool), eq func(a, b T) bool) *Probe[T] {
+	pr := &Probe[T]{histories: make([][]Sample[T], n)}
+	eng.AfterEvent(func(now sim.Time) {
+		for p := 0; p < n; p++ {
+			v, ok := get(sim.PID(p))
+			if !ok {
+				continue
+			}
+			h := pr.histories[p]
+			if len(h) > 0 && eq(h[len(h)-1].Value, v) {
+				continue
+			}
+			pr.histories[p] = append(h, Sample[T]{Time: now, Value: v})
+		}
+	})
+	return pr
+}
+
+// NewSyncProbe attaches a probe to a lock-step engine, sampling at the end
+// of every synchronous step (Time carries the step number).
+func NewSyncProbe[T any](eng *sim.SyncEngine, n int, get func(p sim.PID) (T, bool), eq func(a, b T) bool) *Probe[T] {
+	pr := &Probe[T]{histories: make([][]Sample[T], n)}
+	eng.AfterStep(func(step int) {
+		for p := 0; p < n; p++ {
+			v, ok := get(sim.PID(p))
+			if !ok {
+				continue
+			}
+			h := pr.histories[p]
+			if len(h) > 0 && eq(h[len(h)-1].Value, v) {
+				continue
+			}
+			pr.histories[p] = append(h, Sample[T]{Time: sim.Time(step), Value: v})
+		}
+	})
+	return pr
+}
+
+// NewStaticProbe builds a probe from pre-recorded histories (one slice per
+// process). Checker tests and offline analyses use it; live runs use
+// NewProbe.
+func NewStaticProbe[T any](histories [][]Sample[T]) *Probe[T] {
+	return &Probe[T]{histories: histories}
+}
+
+// History returns process p's sample history (distinct consecutive values
+// with their first-occurrence times).
+func (pr *Probe[T]) History(p sim.PID) []Sample[T] { return pr.histories[p] }
+
+// Last returns the final sampled output of p, ok=false if p never output.
+func (pr *Probe[T]) Last(p sim.PID) (T, bool) {
+	h := pr.histories[p]
+	if len(h) == 0 {
+		var zero T
+		return zero, false
+	}
+	return h[len(h)-1].Value, true
+}
+
+// LastChange returns the time of p's final output change, i.e. the moment
+// p's output stabilized (0 if p never output). Checkers use the maximum
+// over correct processes as the measured stabilization time.
+func (pr *Probe[T]) LastChange(p sim.PID) sim.Time {
+	h := pr.histories[p]
+	if len(h) == 0 {
+		return 0
+	}
+	return h[len(h)-1].Time
+}
+
+// N returns the number of processes probed.
+func (pr *Probe[T]) N() int { return len(pr.histories) }

@@ -1,0 +1,90 @@
+package fd
+
+import (
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// GroundTruth is the omniscient view of one execution's fault pattern,
+// available to checkers and oracles but never to algorithms. CrashTimes
+// holds the virtual time of each crash that occurred; processes absent
+// from it are correct.
+type GroundTruth struct {
+	IDs        ident.Assignment
+	CrashTimes map[sim.PID]sim.Time
+}
+
+// NewGroundTruth builds a ground truth for the assignment with the given
+// crash schedule.
+func NewGroundTruth(ids ident.Assignment, crashTimes map[sim.PID]sim.Time) *GroundTruth {
+	ct := make(map[sim.PID]sim.Time, len(crashTimes))
+	for p, t := range crashTimes {
+		ct[p] = t
+	}
+	return &GroundTruth{IDs: ids, CrashTimes: ct}
+}
+
+// Correct returns the indexes of correct processes.
+func (g *GroundTruth) Correct() []sim.PID {
+	var out []sim.PID
+	for p := 0; p < g.IDs.N(); p++ {
+		if _, crashed := g.CrashTimes[sim.PID(p)]; !crashed {
+			out = append(out, sim.PID(p))
+		}
+	}
+	return out
+}
+
+// IsCorrect reports whether p never crashes in this execution.
+func (g *GroundTruth) IsCorrect(p sim.PID) bool {
+	_, crashed := g.CrashTimes[p]
+	return !crashed
+}
+
+// AliveAt returns the processes alive at time t (crashed strictly before t
+// are dead; a process crashing at t is counted as dead at t, matching the
+// simulator, which processes crashes before deliveries at equal times only
+// by sequence order — checkers use it with ±1 slack).
+func (g *GroundTruth) AliveAt(t sim.Time) []sim.PID {
+	var out []sim.PID
+	for p := 0; p < g.IDs.N(); p++ {
+		if ct, crashed := g.CrashTimes[sim.PID(p)]; !crashed || ct > t {
+			out = append(out, sim.PID(p))
+		}
+	}
+	return out
+}
+
+// CorrectIDs returns I(Correct) as a multiset.
+func (g *GroundTruth) CorrectIDs() *multiset.Multiset[ident.ID] {
+	m := multiset.New[ident.ID]()
+	for _, p := range g.Correct() {
+		m.Add(g.IDs[p])
+	}
+	return m
+}
+
+// LastCrashTime returns the time of the last crash (0 if none).
+func (g *GroundTruth) LastCrashTime() sim.Time {
+	var last sim.Time
+	for _, t := range g.CrashTimes {
+		if t > last {
+			last = t
+		}
+	}
+	return last
+}
+
+// ExpectedLeader returns the stabilized HΩ output this repository's
+// detectors converge to: the smallest identifier among correct processes,
+// with its multiplicity in I(Correct). ok is false when no process is
+// correct.
+func (g *GroundTruth) ExpectedLeader() (LeaderInfo, bool) {
+	ids := g.CorrectIDs()
+	leader, ok := ids.Min()
+	if !ok {
+		return LeaderInfo{}, false
+	}
+	return LeaderInfo{ID: leader, Multiplicity: ids.Count(leader)}, true
+}

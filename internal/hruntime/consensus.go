@@ -1,0 +1,219 @@
+package hruntime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/ident"
+)
+
+// Config parameterizes a live Fig. 8 consensus participant.
+type Config struct {
+	// Module is the demux namespace (default "consensus").
+	Module string
+	// N is the system size, T the crash bound; Fig. 8 requires T < N/2.
+	N, T int
+	// Poll is the guard re-check period while waiting (default 500µs): how
+	// often changing detector output is observed without message traffic.
+	Poll time.Duration
+}
+
+// Propose runs the paper's Figure 8 consensus for one process in its
+// blocking, paper-shaped form: the calling goroutine is the process; every
+// "wait until" blocks on the inbox with a detector re-poll. It returns the
+// decided value, or ctx's error if cancelled (e.g. to crash the process).
+//
+// The message types are the simulator implementation's — core.CoordMsg,
+// core.Ph0Msg, core.Ph1Msg, core.Ph2Msg, core.DecideMsg — so both
+// renderings of the algorithm speak the same protocol.
+func Propose(ctx context.Context, dm *Demux, d fd.HOmega, id ident.ID, cfg Config, v core.Value) (core.Value, error) {
+	if cfg.Module == "" {
+		cfg.Module = "consensus"
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Microsecond
+	}
+	if cfg.T < 0 || 2*cfg.T >= cfg.N {
+		return "", fmt.Errorf("hruntime: Fig8 requires t < n/2, got t=%d n=%d", cfg.T, cfg.N)
+	}
+	if v == core.Bottom {
+		return "", fmt.Errorf("hruntime: Bottom must not be proposed")
+	}
+	p := &participant{
+		dm:    dm,
+		d:     d,
+		id:    id,
+		cfg:   cfg,
+		coord: make(map[int][]core.Value),
+		ph0:   make(map[int]*core.Value),
+		ph1:   make(map[int][]core.Value),
+		ph2:   make(map[int][]core.Value),
+	}
+	return p.run(ctx, v)
+}
+
+type participant struct {
+	dm  *Demux
+	d   fd.HOmega
+	id  ident.ID
+	cfg Config
+
+	round   int
+	coord   map[int][]core.Value
+	ph0     map[int]*core.Value
+	ph1     map[int][]core.Value
+	ph2     map[int][]core.Value
+	decided *core.Value
+}
+
+func (p *participant) run(ctx context.Context, v core.Value) (core.Value, error) {
+	est1 := v
+	for p.round = 1; ; p.round++ {
+		r := p.round
+
+		// Leaders' Coordination Phase (lines 8–14).
+		p.dm.Send(p.cfg.Module, core.CoordMsg{ID: p.id, Round: r, Est: est1})
+		if err := p.waitUntil(ctx, func() bool {
+			ld, ok := p.d.Leader()
+			if !ok || ld.ID != p.id {
+				return true
+			}
+			need := max(ld.Multiplicity, 1)
+			return len(p.coord[r]) >= need
+		}); err != nil {
+			return "", err
+		}
+		if p.decided != nil {
+			return *p.decided, nil
+		}
+		if ests := p.coord[r]; len(ests) > 0 {
+			est1 = minOf(ests)
+		}
+
+		// Phase 0 (lines 15–18).
+		if err := p.waitUntil(ctx, func() bool {
+			ld, ok := p.d.Leader()
+			return (ok && ld.ID == p.id) || p.ph0[r] != nil
+		}); err != nil {
+			return "", err
+		}
+		if p.decided != nil {
+			return *p.decided, nil
+		}
+		if w := p.ph0[r]; w != nil {
+			est1 = *w
+		}
+		p.dm.Send(p.cfg.Module, core.Ph0Msg{Round: r, Est: est1})
+
+		// Phase 1 (lines 19–26).
+		p.dm.Send(p.cfg.Module, core.Ph1Msg{Round: r, Est: est1})
+		if err := p.waitUntil(ctx, func() bool { return len(p.ph1[r]) >= p.cfg.N-p.cfg.T }); err != nil {
+			return "", err
+		}
+		if p.decided != nil {
+			return *p.decided, nil
+		}
+		est2 := core.Bottom
+		counts := make(map[core.Value]int)
+		for _, e := range p.ph1[r] {
+			counts[e]++
+			if 2*counts[e] > p.cfg.N {
+				est2 = e
+			}
+		}
+
+		// Phase 2 (lines 27–34).
+		p.dm.Send(p.cfg.Module, core.Ph2Msg{Round: r, Est: est2})
+		if err := p.waitUntil(ctx, func() bool { return len(p.ph2[r]) >= p.cfg.N-p.cfg.T }); err != nil {
+			return "", err
+		}
+		if p.decided != nil {
+			return *p.decided, nil
+		}
+		var sawVal *core.Value
+		sawBot := false
+		for _, e := range p.ph2[r] {
+			if e == core.Bottom {
+				sawBot = true
+				continue
+			}
+			e := e
+			sawVal = &e
+		}
+		switch {
+		case sawVal != nil && !sawBot:
+			p.dm.Send(p.cfg.Module, core.DecideMsg{Val: *sawVal})
+			return *sawVal, nil
+		case sawVal != nil:
+			est1 = *sawVal
+		}
+	}
+}
+
+// waitUntil drains messages and blocks until cond holds, a DECIDE arrives,
+// or the context ends. The poll ticker re-evaluates conditions that depend
+// on the failure detector alone.
+func (p *participant) waitUntil(ctx context.Context, cond func() bool) error {
+	ch := p.dm.Chan(p.cfg.Module)
+	tick := time.NewTicker(p.cfg.Poll)
+	defer tick.Stop()
+	for {
+		// Drain whatever is ready before evaluating.
+		for {
+			select {
+			case m := <-ch:
+				p.handle(m)
+			default:
+				goto drained
+			}
+		}
+	drained:
+		if p.decided != nil || cond() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case m := <-ch:
+			p.handle(m)
+		case <-tick.C:
+		}
+	}
+}
+
+func (p *participant) handle(m any) {
+	switch msg := m.(type) {
+	case core.DecideMsg:
+		if p.decided == nil {
+			v := msg.Val
+			p.decided = &v
+			p.dm.Send(p.cfg.Module, core.DecideMsg{Val: v}) // relay once
+		}
+	case core.CoordMsg:
+		if msg.ID == p.id {
+			p.coord[msg.Round] = append(p.coord[msg.Round], msg.Est)
+		}
+	case core.Ph0Msg:
+		if p.ph0[msg.Round] == nil {
+			v := msg.Est
+			p.ph0[msg.Round] = &v
+		}
+	case core.Ph1Msg:
+		p.ph1[msg.Round] = append(p.ph1[msg.Round], msg.Est)
+	case core.Ph2Msg:
+		p.ph2[msg.Round] = append(p.ph2[msg.Round], msg.Est)
+	}
+}
+
+func minOf(vs []core.Value) core.Value {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

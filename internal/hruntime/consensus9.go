@@ -1,0 +1,326 @@
+package hruntime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+)
+
+// Config9 parameterizes a live Fig. 9 consensus participant. Unlike Fig. 8
+// (Config), no n or t is needed: quorums come from the HΣ detector.
+type Config9 struct {
+	// Module is the demux namespace (default "consensus9").
+	Module string
+	// Poll is the guard re-check period while waiting (default 500µs).
+	Poll time.Duration
+}
+
+// Propose9 runs the paper's Figure 9 consensus for one process in blocking
+// form, with detectors D1 ∈ HΩ and D2 ∈ HΣ. It tolerates any number of
+// crashes. Message types are shared with the simulator implementation
+// (core.CoordMsg, core.Ph0Msg, core.Ph1QMsg, core.Ph2QMsg, core.DecideMsg).
+func Propose9(ctx context.Context, dm *Demux, d1 fd.HOmega, d2 fd.HSigma, id ident.ID, cfg Config9, v core.Value) (core.Value, error) {
+	if cfg.Module == "" {
+		cfg.Module = "consensus9"
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Microsecond
+	}
+	if v == core.Bottom {
+		return "", fmt.Errorf("hruntime: Bottom must not be proposed")
+	}
+	p := &participant9{
+		dm: dm, d1: d1, d2: d2, id: id, cfg: cfg,
+		coord:     make(map[int][]core.Value),
+		coordSeen: make(map[int]bool),
+		ph0:       make(map[int]*core.Value),
+		ph1:       make(map[int][]q9msg),
+		ph2:       make(map[int][]q9msg),
+	}
+	return p.run(ctx, v)
+}
+
+type q9msg struct {
+	id     ident.ID
+	sr     int
+	labels map[fd.Label]bool
+	est    core.Value
+}
+
+type participant9 struct {
+	dm  *Demux
+	d1  fd.HOmega
+	d2  fd.HSigma
+	id  ident.ID
+	cfg Config9
+
+	round     int
+	coord     map[int][]core.Value
+	coordSeen map[int]bool
+	ph0       map[int]*core.Value
+	ph1       map[int][]q9msg
+	ph2       map[int][]q9msg
+	decided   *core.Value
+}
+
+func (p *participant9) run(ctx context.Context, v core.Value) (core.Value, error) {
+	est1 := v
+	for p.round = 1; ; p.round++ {
+		r := p.round
+
+		// Leaders' Coordination Phase.
+		p.dm.Send(p.cfg.Module, core.CoordMsg{ID: p.id, Round: r, Est: est1})
+		if err := p.waitUntil(ctx, func() bool {
+			ld, ok := p.d1.Leader()
+			if !ok || ld.ID != p.id {
+				return true
+			}
+			return len(p.coord[r]) >= max(ld.Multiplicity, 1)
+		}); err != nil {
+			return "", err
+		}
+		if p.decided != nil {
+			return *p.decided, nil
+		}
+		if ests := p.coord[r]; len(ests) > 0 {
+			est1 = minOf(ests)
+		}
+
+		// Phase 0.
+		if err := p.waitUntil(ctx, func() bool {
+			ld, ok := p.d1.Leader()
+			return (ok && ld.ID == p.id) || p.ph0[r] != nil
+		}); err != nil {
+			return "", err
+		}
+		if p.decided != nil {
+			return *p.decided, nil
+		}
+		if w := p.ph0[r]; w != nil {
+			est1 = *w
+		}
+		p.dm.Send(p.cfg.Module, core.Ph0Msg{Round: r, Est: est1})
+
+		// Phase 1 (sub-rounds until a quorum matches or a PH2 appears).
+		est2, err := p.quorumPhase(ctx, r, est1, false)
+		if err != nil {
+			return "", err
+		}
+		if p.decided != nil {
+			return *p.decided, nil
+		}
+
+		// Phase 2.
+		rec, next, err := p.quorumPhase2(ctx, r, est2)
+		if err != nil {
+			return "", err
+		}
+		if p.decided != nil {
+			return *p.decided, nil
+		}
+		if !next {
+			// A quorum matched; apply the three cases.
+			var sawVal *core.Value
+			sawBot := false
+			for _, e := range rec {
+				if e == core.Bottom {
+					sawBot = true
+					continue
+				}
+				e := e
+				sawVal = &e
+			}
+			switch {
+			case sawVal != nil && !sawBot:
+				p.dm.Send(p.cfg.Module, core.DecideMsg{Val: *sawVal})
+				return *sawVal, nil
+			case sawVal != nil:
+				est1 = *sawVal
+			}
+		}
+	}
+}
+
+// quorumPhase runs Fig. 9's Phase 1 loop and returns est2.
+func (p *participant9) quorumPhase(ctx context.Context, r int, est1 core.Value, _ bool) (core.Value, error) {
+	sr := 1
+	labels := p.d2.Labels()
+	p.dm.Send(p.cfg.Module, core.Ph1QMsg{ID: p.id, Round: r, SR: sr, Labels: labels, Est: est1})
+	var est2 core.Value
+	err := p.waitUntil(ctx, func() bool {
+		// PH2 for this round: adopt and move on.
+		if msgs := p.ph2[r]; len(msgs) > 0 {
+			est2 = msgs[0].est
+			return true
+		}
+		if rec, ok := p.matchQuorum(p.ph1[r]); ok {
+			est2 = core.Bottom
+			if allSame9(rec) {
+				est2 = rec[0]
+			}
+			return true
+		}
+		cur := p.d2.Labels()
+		advance := !fd.LabelsEqual(labels, cur)
+		if !advance {
+			for _, m := range p.ph1[r] {
+				if m.sr > sr {
+					advance = true
+					break
+				}
+			}
+		}
+		if advance {
+			sr++
+			labels = cur
+			p.dm.Send(p.cfg.Module, core.Ph1QMsg{ID: p.id, Round: r, SR: sr, Labels: labels, Est: est1})
+		}
+		return false
+	})
+	return est2, err
+}
+
+// quorumPhase2 runs Fig. 9's Phase 2 loop; next reports the COORD(r+1)
+// early exit (no quorum outcome).
+func (p *participant9) quorumPhase2(ctx context.Context, r int, est2 core.Value) (rec []core.Value, next bool, err error) {
+	sr := 1
+	labels := p.d2.Labels()
+	p.dm.Send(p.cfg.Module, core.Ph2QMsg{ID: p.id, Round: r, SR: sr, Labels: labels, Est: est2})
+	err = p.waitUntil(ctx, func() bool {
+		if p.coordSeen[r+1] {
+			next = true
+			return true
+		}
+		if got, ok := p.matchQuorum(p.ph2[r]); ok {
+			rec = got
+			return true
+		}
+		cur := p.d2.Labels()
+		advance := !fd.LabelsEqual(labels, cur)
+		if !advance {
+			for _, m := range p.ph2[r] {
+				if m.sr > sr {
+					advance = true
+					break
+				}
+			}
+		}
+		if advance {
+			sr++
+			labels = cur
+			p.dm.Send(p.cfg.Module, core.Ph2QMsg{ID: p.id, Round: r, SR: sr, Labels: labels, Est: est2})
+		}
+		return false
+	})
+	return rec, next, err
+}
+
+// matchQuorum mirrors the simulator implementation: find (x, mset) in
+// D2.h_quora and a sub-round whose x-labelled messages' sender identifiers
+// realize mset.
+func (p *participant9) matchQuorum(msgs []q9msg) ([]core.Value, bool) {
+	if len(msgs) == 0 {
+		return nil, false
+	}
+	srs := map[int]bool{}
+	for _, m := range msgs {
+		srs[m.sr] = true
+	}
+	for _, pair := range p.d2.Quora() {
+		for sr := range srs {
+			avail := multiset.New[ident.ID]()
+			for _, m := range msgs {
+				if m.sr == sr && m.labels[pair.Label] {
+					avail.Add(m.id)
+				}
+			}
+			if avail.Empty() || !pair.M.SubsetOf(avail) {
+				continue
+			}
+			need := pair.M.Counts()
+			rec := make([]core.Value, 0, pair.M.Len())
+			for _, m := range msgs {
+				if m.sr == sr && m.labels[pair.Label] && need[m.id] > 0 {
+					need[m.id]--
+					rec = append(rec, m.est)
+				}
+			}
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+func (p *participant9) waitUntil(ctx context.Context, cond func() bool) error {
+	ch := p.dm.Chan(p.cfg.Module)
+	tick := time.NewTicker(p.cfg.Poll)
+	defer tick.Stop()
+	for {
+		for {
+			select {
+			case m := <-ch:
+				p.handle(m)
+			default:
+				goto drained
+			}
+		}
+	drained:
+		if p.decided != nil || cond() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case m := <-ch:
+			p.handle(m)
+		case <-tick.C:
+		}
+	}
+}
+
+func (p *participant9) handle(m any) {
+	switch msg := m.(type) {
+	case core.DecideMsg:
+		if p.decided == nil {
+			v := msg.Val
+			p.decided = &v
+			p.dm.Send(p.cfg.Module, core.DecideMsg{Val: v})
+		}
+	case core.CoordMsg:
+		p.coordSeen[msg.Round] = true
+		if msg.ID == p.id {
+			p.coord[msg.Round] = append(p.coord[msg.Round], msg.Est)
+		}
+	case core.Ph0Msg:
+		if p.ph0[msg.Round] == nil {
+			v := msg.Est
+			p.ph0[msg.Round] = &v
+		}
+	case core.Ph1QMsg:
+		p.ph1[msg.Round] = append(p.ph1[msg.Round], toQ9(msg.ID, msg.SR, msg.Labels, msg.Est))
+	case core.Ph2QMsg:
+		p.ph2[msg.Round] = append(p.ph2[msg.Round], toQ9(msg.ID, msg.SR, msg.Labels, msg.Est))
+	}
+}
+
+func toQ9(id ident.ID, sr int, labels []fd.Label, est core.Value) q9msg {
+	set := make(map[fd.Label]bool, len(labels))
+	for _, l := range labels {
+		set[l] = true
+	}
+	return q9msg{id: id, sr: sr, labels: set, est: est}
+}
+
+func allSame9(vs []core.Value) bool {
+	for _, v := range vs[1:] {
+		if v != vs[0] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,123 @@
+package hruntime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+)
+
+// liveConsensus9 wires the live Fig. 9 stack with LiveWorld oracles and
+// returns the decisions of correct processes.
+func liveConsensus9(t *testing.T, ids ident.Assignment, crash map[int]time.Duration, seed int64) []core.Value {
+	t.Helper()
+	n := ids.N()
+	c := NewCluster(ids, Options{Seed: seed, MinDelay: 100 * time.Microsecond, MaxDelay: 600 * time.Microsecond})
+	defer c.Close()
+	world := NewLiveWorld(c, 30*time.Millisecond)
+	for p := range crash {
+		world.DeclareCrashing(p)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type result struct {
+		p   int
+		v   core.Value
+		err error
+	}
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	cancels := make([]context.CancelFunc, n)
+	for i := 0; i < n; i++ {
+		dm := NewDemux(c, i, "consensus9")
+		d1 := NewLiveHOmega(world)
+		d2 := NewLiveHSigma(world, i)
+		pctx, pcancel := context.WithCancel(ctx)
+		cancels[i] = pcancel
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer dm.Close()
+			v, err := Propose9(pctx, dm, d1, d2, ids[i], Config9{}, core.Value(string(rune('a'+i))))
+			results <- result{p: i, v: v, err: err}
+		}(i)
+	}
+	for p, after := range crash {
+		p, after := p, after
+		go func() {
+			time.Sleep(after)
+			c.Crash(p)
+			cancels[p]()
+		}()
+	}
+
+	crashed := make(map[int]bool, len(crash))
+	for p := range crash {
+		crashed[p] = true
+	}
+	var decisions []core.Value
+	needed := n - len(crash)
+	for got := 0; got < needed; {
+		select {
+		case r := <-results:
+			if crashed[r.p] {
+				continue
+			}
+			if r.err != nil {
+				t.Fatalf("correct process %d failed: %v", r.p, r.err)
+			}
+			decisions = append(decisions, r.v)
+			got++
+		case <-ctx.Done():
+			t.Fatalf("timeout: %d/%d decisions", len(decisions), needed)
+		}
+	}
+	cancel() // release any still-running participants, then drain them
+	wg.Wait()
+	return decisions
+}
+
+func assertAgreement(t *testing.T, decisions []core.Value) {
+	t.Helper()
+	for _, v := range decisions[1:] {
+		if v != decisions[0] {
+			t.Fatalf("agreement violated: %v", decisions)
+		}
+	}
+}
+
+func TestLiveFig9FailureFree(t *testing.T) {
+	assertAgreement(t, liveConsensus9(t, ident.Balanced(4, 2), nil, 11))
+}
+
+func TestLiveFig9MinorityCorrect(t *testing.T) {
+	// 3 of 5 crash — beyond any majority; Fig. 9 still decides live.
+	crash := map[int]time.Duration{
+		0: 5 * time.Millisecond,
+		2: 10 * time.Millisecond,
+		4: 15 * time.Millisecond,
+	}
+	decisions := liveConsensus9(t, ident.Balanced(5, 2), crash, 12)
+	if len(decisions) != 2 {
+		t.Fatalf("got %d decisions, want 2", len(decisions))
+	}
+	assertAgreement(t, decisions)
+}
+
+func TestLiveFig9Anonymous(t *testing.T) {
+	assertAgreement(t, liveConsensus9(t, ident.AnonymousN(4), nil, 13))
+}
+
+func TestLiveFig9Homonymous(t *testing.T) {
+	crash := map[int]time.Duration{1: 8 * time.Millisecond}
+	decisions := liveConsensus9(t, ident.Assignment{"x", "x", "y", "y", "z"}, crash, 14)
+	if len(decisions) != 4 {
+		t.Fatalf("got %d decisions, want 4", len(decisions))
+	}
+	assertAgreement(t, decisions)
+}

@@ -1,0 +1,96 @@
+package hruntime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Envelope namespaces payloads per module, so a failure detector and a
+// consensus algorithm can share one process's inbox — the live counterpart
+// of sim.Node.
+type Envelope struct {
+	Module  string
+	Payload any
+}
+
+// MsgTag preserves the inner payload's tag for traces.
+func (e Envelope) MsgTag() string { return tagOf(e.Payload) }
+
+// Demux splits a process inbox into per-module channels. Start it once per
+// process; modules then receive from Chan(name) and send with Send.
+type Demux struct {
+	c    *Cluster
+	p    int
+	mu   sync.Mutex
+	subs map[string]chan any
+	wg   sync.WaitGroup
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewDemux creates (and starts) a demultiplexer for process p.
+func NewDemux(c *Cluster, p int, modules ...string) *Demux {
+	d := &Demux{
+		c:    c,
+		p:    p,
+		subs: make(map[string]chan any, len(modules)),
+		stop: make(chan struct{}),
+	}
+	for _, m := range modules {
+		if _, dup := d.subs[m]; dup {
+			panic(fmt.Sprintf("hruntime: duplicate module %q", m))
+		}
+		d.subs[m] = make(chan any, 1024)
+	}
+	d.wg.Add(1)
+	go d.pump()
+	return d
+}
+
+func (d *Demux) pump() {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case m := <-d.c.Inbox(d.p):
+			env, ok := m.(Envelope)
+			if !ok {
+				continue // foreign traffic: not for our modules
+			}
+			d.mu.Lock()
+			ch := d.subs[env.Module]
+			d.mu.Unlock()
+			if ch == nil {
+				continue
+			}
+			select {
+			case ch <- env.Payload:
+			case <-d.stop:
+				return
+			}
+		}
+	}
+}
+
+// Chan returns the receive channel of a module registered at construction.
+func (d *Demux) Chan(module string) <-chan any {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ch, ok := d.subs[module]
+	if !ok {
+		panic(fmt.Sprintf("hruntime: unknown module %q", module))
+	}
+	return ch
+}
+
+// Send broadcasts payload under the module's namespace.
+func (d *Demux) Send(module string, payload any) {
+	d.c.Broadcast(d.p, Envelope{Module: module, Payload: payload})
+}
+
+// Close stops the pump. Safe to call multiple times.
+func (d *Demux) Close() {
+	d.once.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}

@@ -1,0 +1,291 @@
+package hruntime
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ident"
+)
+
+func TestClusterBroadcastDelivery(t *testing.T) {
+	c := NewCluster(ident.Unique(3), Options{Seed: 1})
+	defer c.Close()
+	c.Broadcast(0, Envelope{Module: "m", Payload: "hi"})
+	deadline := time.After(2 * time.Second)
+	for p := 0; p < 3; p++ {
+		select {
+		case m := <-c.Inbox(p):
+			env := m.(Envelope)
+			if env.Payload != "hi" {
+				t.Fatalf("payload = %v", env.Payload)
+			}
+		case <-deadline:
+			t.Fatalf("process %d never received", p)
+		}
+	}
+}
+
+func TestClusterCrashSilences(t *testing.T) {
+	c := NewCluster(ident.Unique(2), Options{Seed: 2})
+	defer c.Close()
+	c.Crash(0)
+	c.Broadcast(0, Envelope{Module: "m", Payload: "x"}) // ignored: sender dead
+	c.Broadcast(1, Envelope{Module: "m", Payload: "y"})
+	select {
+	case m := <-c.Inbox(1):
+		if m.(Envelope).Payload != "y" {
+			t.Fatalf("got %v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery to live process")
+	}
+	select {
+	case m := <-c.Inbox(0):
+		t.Fatalf("crashed process received %v", m)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestDemuxRoutesByModule(t *testing.T) {
+	c := NewCluster(ident.Unique(1), Options{Seed: 3})
+	defer c.Close()
+	dm := NewDemux(c, 0, "a", "b")
+	defer dm.Close()
+	dm.Send("a", "for-a")
+	dm.Send("b", "for-b")
+	select {
+	case m := <-dm.Chan("a"):
+		if m != "for-a" {
+			t.Fatalf("a got %v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("module a starved")
+	}
+	select {
+	case m := <-dm.Chan("b"):
+		if m != "for-b" {
+			t.Fatalf("b got %v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("module b starved")
+	}
+}
+
+func TestLiveOHPConverges(t *testing.T) {
+	ids := ident.Assignment{"a", "a", "b"}
+	c := NewCluster(ids, Options{Seed: 4, MinDelay: 100 * time.Microsecond, MaxDelay: 500 * time.Microsecond})
+	defer c.Close()
+	dms := make([]*Demux, len(ids))
+	dets := make([]*OHP, len(ids))
+	for i := range ids {
+		dms[i] = NewDemux(c, i, "fd")
+		dets[i] = StartOHP(dms[i], "fd", ids[i], time.Millisecond)
+	}
+	defer func() {
+		for i := range dets {
+			dets[i].Stop()
+			dms[i].Close()
+		}
+	}()
+
+	// Crash p2 ("b") after a while; survivors must converge on {a, a}.
+	time.Sleep(100 * time.Millisecond)
+	c.Crash(2)
+
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		good := true
+		for i := 0; i < 2; i++ {
+			tr := dets[i].Trusted()
+			if tr.Len() != 2 || tr.Count("a") != 2 {
+				good = false
+			}
+			li, ok := dets[i].Leader()
+			if !ok || li.ID != "a" || li.Multiplicity != 2 {
+				good = false
+			}
+		}
+		if good {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("detectors did not converge: %v / %v", dets[0].Trusted(), dets[1].Trusted())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// liveConsensus wires a full live stack (OHP → Fig 8) and returns the
+// decisions of correct processes.
+func liveConsensus(t *testing.T, ids ident.Assignment, tt int, crash map[int]time.Duration, seed int64) []core.Value {
+	t.Helper()
+	n := ids.N()
+	c := NewCluster(ids, Options{Seed: seed, MinDelay: 100 * time.Microsecond, MaxDelay: 600 * time.Microsecond})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type result struct {
+		p   int
+		v   core.Value
+		err error
+	}
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	cancels := make([]context.CancelFunc, n)
+	for i := 0; i < n; i++ {
+		dm := NewDemux(c, i, "fd", "consensus")
+		det := StartOHP(dm, "fd", ids[i], 500*time.Microsecond)
+		pctx, pcancel := context.WithCancel(ctx)
+		cancels[i] = pcancel
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer det.Stop()
+			defer dm.Close()
+			v, err := Propose(pctx, dm, det, ids[i], Config{N: n, T: tt}, core.Value(string(rune('a'+i))))
+			results <- result{p: i, v: v, err: err}
+		}(i)
+	}
+	for p, after := range crash {
+		p, after := p, after
+		go func() {
+			time.Sleep(after)
+			c.Crash(p)
+			cancels[p]()
+		}()
+	}
+
+	crashed := make(map[int]bool, len(crash))
+	for p := range crash {
+		crashed[p] = true
+	}
+	var decisions []core.Value
+	needed := n - len(crash)
+	for got := 0; got < needed; {
+		select {
+		case r := <-results:
+			if crashed[r.p] {
+				continue // cancelled processes may error; ignore
+			}
+			if r.err != nil {
+				t.Fatalf("correct process %d failed: %v", r.p, r.err)
+			}
+			decisions = append(decisions, r.v)
+			got++
+		case <-ctx.Done():
+			t.Fatalf("timeout: %d/%d decisions", len(decisions), needed)
+		}
+	}
+	cancel() // release any still-running participants, then drain them
+	wg.Wait()
+	return decisions
+}
+
+func TestLiveConsensusFailureFree(t *testing.T) {
+	decisions := liveConsensus(t, ident.Balanced(4, 2), 1, nil, 5)
+	for _, v := range decisions[1:] {
+		if v != decisions[0] {
+			t.Fatalf("agreement violated: %v", decisions)
+		}
+	}
+}
+
+func TestLiveConsensusWithCrash(t *testing.T) {
+	ids := ident.Balanced(5, 2)
+	decisions := liveConsensus(t, ids, 2, map[int]time.Duration{3: 5 * time.Millisecond}, 6)
+	if len(decisions) != 4 {
+		t.Fatalf("got %d decisions, want 4", len(decisions))
+	}
+	for _, v := range decisions[1:] {
+		if v != decisions[0] {
+			t.Fatalf("agreement violated: %v", decisions)
+		}
+	}
+}
+
+func TestLiveConsensusAnonymous(t *testing.T) {
+	decisions := liveConsensus(t, ident.AnonymousN(3), 1, nil, 7)
+	for _, v := range decisions[1:] {
+		if v != decisions[0] {
+			t.Fatalf("agreement violated: %v", decisions)
+		}
+	}
+}
+
+func TestClusterGSTLossAndRecovery(t *testing.T) {
+	// With PreLoss=1 every pre-GST copy is dropped; after GST delivery
+	// resumes within MaxDelay.
+	c := NewCluster(ident.Unique(2), Options{
+		Seed:     9,
+		MinDelay: 100 * time.Microsecond,
+		MaxDelay: 500 * time.Microsecond,
+		GST:      50 * time.Millisecond,
+		PreLoss:  1,
+	})
+	defer c.Close()
+	c.Broadcast(0, Envelope{Module: "m", Payload: "early"})
+	select {
+	case m := <-c.Inbox(1):
+		t.Fatalf("pre-GST message delivered despite PreLoss=1: %v", m)
+	case <-time.After(20 * time.Millisecond):
+	}
+	time.Sleep(40 * time.Millisecond) // past GST
+	c.Broadcast(0, Envelope{Module: "m", Payload: "late"})
+	select {
+	case m := <-c.Inbox(1):
+		if m.(Envelope).Payload != "late" {
+			t.Fatalf("got %v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post-GST message never delivered")
+	}
+}
+
+func TestOHPDetectorToleratesPreGSTLoss(t *testing.T) {
+	// The Figure 6 detector must converge even when every message before
+	// GST is lost — Theorem 5 needs only the post-GST suffix.
+	ids := ident.Assignment{"a", "a", "b"}
+	c := NewCluster(ids, Options{
+		Seed:     10,
+		MinDelay: 100 * time.Microsecond,
+		MaxDelay: 400 * time.Microsecond,
+		GST:      40 * time.Millisecond,
+		PreLoss:  1,
+	})
+	defer c.Close()
+	dms := make([]*Demux, len(ids))
+	dets := make([]*OHP, len(ids))
+	for i := range ids {
+		dms[i] = NewDemux(c, i, "fd")
+		dets[i] = StartOHP(dms[i], "fd", ids[i], time.Millisecond)
+	}
+	defer func() {
+		for i := range dets {
+			dets[i].Stop()
+			dms[i].Close()
+		}
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		good := true
+		for i := range dets {
+			tr := dets[i].Trusted()
+			if tr.Len() != 3 || tr.Count("a") != 2 || tr.Count("b") != 1 {
+				good = false
+			}
+		}
+		if good {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no convergence after pre-GST blackout: %v / %v / %v",
+				dets[0].Trusted(), dets[1].Trusted(), dets[2].Trusted())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,184 @@
+package hruntime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/fd/ohp"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+)
+
+// OHP is the live rendering of Figure 6 (◇HP̄ + HΩ via Corollary 2): two
+// real goroutines per process — Task T1 polls in timeout-paced rounds,
+// Task T2 answers POLLING messages and adapts the timeout — exactly the
+// paper's two-task structure. It reuses the simulator implementation's
+// message types (ohp.Polling, ohp.Reply), so live and simulated stacks
+// speak the same protocol.
+type OHP struct {
+	dm     *Demux
+	module string
+	id     ident.ID
+	unit   time.Duration
+
+	mu      sync.Mutex
+	round   int
+	timeout int // in units
+	trusted *multiset.Multiset[ident.ID]
+	hasOut  bool
+	mship   map[ident.ID]bool
+	latestR map[ident.ID]int
+	pending []ohp.Reply
+
+	stop chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+}
+
+var (
+	_ fd.DiamondHPbar = (*OHP)(nil)
+	_ fd.HOmega       = (*OHP)(nil)
+)
+
+// StartOHP launches the detector for the process behind dm under the given
+// module name. unit is the real-time length of one abstract timeout unit
+// (e.g. 1ms); the adaptive timeout is a multiple of it.
+func StartOHP(dm *Demux, module string, id ident.ID, unit time.Duration) *OHP {
+	if unit <= 0 {
+		unit = time.Millisecond
+	}
+	d := &OHP{
+		dm:      dm,
+		module:  module,
+		id:      id,
+		unit:    unit,
+		round:   1,
+		timeout: 1,
+		trusted: multiset.New[ident.ID](),
+		mship:   make(map[ident.ID]bool),
+		latestR: make(map[ident.ID]int),
+		stop:    make(chan struct{}),
+	}
+	d.wg.Add(2)
+	go d.task1()
+	go d.task2()
+	return d
+}
+
+// task1 is the polling loop (Fig. 6 lines 8–19).
+func (d *OHP) task1() {
+	defer d.wg.Done()
+	for {
+		d.mu.Lock()
+		r := d.round
+		wait := time.Duration(d.timeout) * d.unit
+		d.mu.Unlock()
+
+		d.dm.Send(d.module, ohp.Polling{Round: r, ID: d.id})
+
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-d.stop:
+			t.Stop()
+			return
+		}
+
+		d.mu.Lock()
+		tmp := multiset.New[ident.ID]()
+		for _, rep := range d.pending {
+			if rep.From <= d.round && d.round <= rep.To {
+				tmp.Add(rep.Sender)
+			}
+		}
+		d.trusted = tmp
+		d.hasOut = true
+		d.round++
+		kept := d.pending[:0]
+		for _, rep := range d.pending {
+			if rep.To >= d.round {
+				kept = append(kept, rep)
+			}
+		}
+		d.pending = kept
+		d.mu.Unlock()
+	}
+}
+
+// task2 is the message handler (Fig. 6 lines 21–34).
+func (d *OHP) task2() {
+	defer d.wg.Done()
+	ch := d.dm.Chan(d.module)
+	for {
+		select {
+		case <-d.stop:
+			return
+		case m := <-ch:
+			switch msg := m.(type) {
+			case ohp.Polling:
+				d.onPolling(msg)
+			case ohp.Reply:
+				d.onReply(msg)
+			}
+		}
+	}
+}
+
+func (d *OHP) onPolling(m ohp.Polling) {
+	d.mu.Lock()
+	if !d.mship[m.ID] {
+		d.mship[m.ID] = true
+		d.latestR[m.ID] = 0
+	}
+	var reply *ohp.Reply
+	if d.latestR[m.ID] < m.Round {
+		reply = &ohp.Reply{From: d.latestR[m.ID] + 1, To: m.Round, Dest: m.ID, Sender: d.id}
+		d.latestR[m.ID] = m.Round
+	}
+	d.mu.Unlock()
+	if reply != nil {
+		d.dm.Send(d.module, *reply)
+	}
+}
+
+func (d *OHP) onReply(m ohp.Reply) {
+	if m.Dest != d.id {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m.From < d.round {
+		d.timeout++
+	}
+	if m.To >= d.round {
+		d.pending = append(d.pending, m)
+	}
+}
+
+// Trusted implements fd.DiamondHPbar.
+func (d *OHP) Trusted() *multiset.Multiset[ident.ID] {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.trusted.Clone()
+}
+
+// Leader implements fd.HOmega (Corollary 2).
+func (d *OHP) Leader() (fd.LeaderInfo, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.hasOut {
+		return fd.LeaderInfo{}, false
+	}
+	id, ok := d.trusted.Min()
+	if !ok {
+		return fd.LeaderInfo{}, false
+	}
+	return fd.LeaderInfo{ID: id, Multiplicity: d.trusted.Count(id)}, true
+}
+
+// Stop terminates both tasks.
+func (d *OHP) Stop() {
+	d.once.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}

@@ -1,0 +1,139 @@
+package hruntime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+)
+
+// LiveWorld is the live counterpart of the simulator's oracle world: it
+// watches a Cluster's ground truth (identity assignment and crash marks)
+// and serves class-conform detector outputs that stabilize after a real-
+// time delay. It exists for the same reason as the simulator oracles —
+// exercising consensus against the detector *class* without coupling the
+// test to one implementation — and for detectors whose paper
+// implementation lives in another timing model (HΣ is implementable in
+// HSS; the live cluster is asynchronous).
+type LiveWorld struct {
+	c         *Cluster
+	start     time.Time
+	stabilize time.Duration
+
+	mu      sync.Mutex
+	correct map[int]bool // fixed by DeclareCorrect; nil = everyone
+}
+
+// NewLiveWorld creates a world that stabilizes after the given duration.
+// DeclareCrashing must announce every process that will crash, so that the
+// stabilized outputs reflect the eventual Correct set (live runs cannot
+// know the future; the experiment script can).
+func NewLiveWorld(c *Cluster, stabilize time.Duration) *LiveWorld {
+	return &LiveWorld{c: c, start: time.Now(), stabilize: stabilize}
+}
+
+// DeclareCrashing marks processes that will crash during the run; the
+// stabilized detector outputs exclude them.
+func (w *LiveWorld) DeclareCrashing(pids ...int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.correct == nil {
+		w.correct = make(map[int]bool, w.c.N())
+		for p := 0; p < w.c.N(); p++ {
+			w.correct[p] = true
+		}
+	}
+	for _, p := range pids {
+		w.correct[p] = false
+	}
+}
+
+func (w *LiveWorld) stable() bool { return time.Since(w.start) >= w.stabilize }
+
+// correctSet returns the declared-correct process indexes.
+func (w *LiveWorld) correctSet() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []int
+	for p := 0; p < w.c.N(); p++ {
+		if w.correct == nil || w.correct[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// correctIDs returns I(Correct) as a multiset.
+func (w *LiveWorld) correctIDs() *multiset.Multiset[ident.ID] {
+	m := multiset.New[ident.ID]()
+	for _, p := range w.correctSet() {
+		m.Add(w.c.ID(p))
+	}
+	return m
+}
+
+// LiveHOmega is an HΩ oracle over a LiveWorld: before stabilization the
+// elected identifier rotates through the assignment; afterwards it is the
+// smallest correct identifier with its multiplicity.
+type LiveHOmega struct {
+	w *LiveWorld
+}
+
+var _ fd.HOmega = (*LiveHOmega)(nil)
+
+// NewLiveHOmega builds the oracle (shared safely by all processes, but by
+// convention each process gets its own).
+func NewLiveHOmega(w *LiveWorld) *LiveHOmega { return &LiveHOmega{w: w} }
+
+// Leader implements fd.HOmega.
+func (o *LiveHOmega) Leader() (fd.LeaderInfo, bool) {
+	if !o.w.stable() {
+		ids := o.w.c.IDs()
+		k := int(time.Since(o.w.start) / (10 * time.Millisecond))
+		return fd.LeaderInfo{ID: ids[k%ids.N()], Multiplicity: 1}, true
+	}
+	ids := o.w.correctIDs()
+	id, ok := ids.Min()
+	if !ok {
+		return fd.LeaderInfo{}, false
+	}
+	return fd.LeaderInfo{ID: id, Multiplicity: ids.Count(id)}, true
+}
+
+// LiveHSigma is an HΣ oracle over a LiveWorld: the label "all" maps to
+// I(Π) always; once stable, "corr" maps to I(Correct) and is carried by
+// the declared-correct processes.
+type LiveHSigma struct {
+	w   *LiveWorld
+	pid int
+}
+
+var _ fd.HSigma = (*LiveHSigma)(nil)
+
+// NewLiveHSigma builds the per-process oracle.
+func NewLiveHSigma(w *LiveWorld, pid int) *LiveHSigma { return &LiveHSigma{w: w, pid: pid} }
+
+// Quora implements fd.HSigma.
+func (o *LiveHSigma) Quora() []fd.QuorumPair {
+	pairs := []fd.QuorumPair{{Label: "all", M: o.w.c.IDs().I()}}
+	if o.w.stable() {
+		pairs = append(pairs, fd.QuorumPair{Label: "corr", M: o.w.correctIDs()})
+	}
+	return pairs
+}
+
+// Labels implements fd.HSigma.
+func (o *LiveHSigma) Labels() []fd.Label {
+	ls := []fd.Label{"all"}
+	if o.w.stable() {
+		for _, p := range o.w.correctSet() {
+			if p == o.pid {
+				ls = append(ls, "corr")
+				break
+			}
+		}
+	}
+	return ls
+}

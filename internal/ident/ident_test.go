@@ -1,0 +1,168 @@
+package ident
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnique(t *testing.T) {
+	a := Unique(5)
+	if a.N() != 5 {
+		t.Fatalf("N = %d, want 5", a.N())
+	}
+	if got := a.DistinctCount(); got != 5 {
+		t.Errorf("DistinctCount = %d, want 5", got)
+	}
+	for _, id := range a {
+		if a.Mult(id) != 1 {
+			t.Errorf("Mult(%s) = %d, want 1", id, a.Mult(id))
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAnonymousN(t *testing.T) {
+	a := AnonymousN(4)
+	if got := a.DistinctCount(); got != 1 {
+		t.Errorf("DistinctCount = %d, want 1", got)
+	}
+	if a.Mult(Anonymous) != 4 {
+		t.Errorf("Mult(⊥) = %d, want 4", a.Mult(Anonymous))
+	}
+	if got := a.Homonyms(Anonymous); len(got) != 4 {
+		t.Errorf("Homonyms(⊥) = %v", got)
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	tests := []struct {
+		n, l int
+	}{
+		{6, 3}, {7, 3}, {5, 1}, {5, 5}, {1, 1}, {10, 4},
+	}
+	for _, tt := range tests {
+		a := Balanced(tt.n, tt.l)
+		if a.N() != tt.n {
+			t.Errorf("Balanced(%d,%d).N = %d", tt.n, tt.l, a.N())
+		}
+		if got := a.DistinctCount(); got != tt.l {
+			t.Errorf("Balanced(%d,%d) distinct = %d, want %d", tt.n, tt.l, got, tt.l)
+		}
+		// Balance: group sizes differ by at most one.
+		lo, hi := tt.n, 0
+		for _, id := range a.I().Support() {
+			m := a.Mult(id)
+			lo, hi = min(lo, m), max(hi, m)
+		}
+		if hi-lo > 1 {
+			t.Errorf("Balanced(%d,%d) group sizes spread %d..%d", tt.n, tt.l, lo, hi)
+		}
+	}
+}
+
+func TestBalancedPanics(t *testing.T) {
+	for _, bad := range [][2]int{{3, 0}, {3, 4}, {0, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Balanced(%d,%d) should panic", bad[0], bad[1])
+				}
+			}()
+			Balanced(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestSkewed(t *testing.T) {
+	a := Skewed(6, 4)
+	if a.Mult("giant") != 4 {
+		t.Errorf("Mult(giant) = %d, want 4", a.Mult("giant"))
+	}
+	if got := a.DistinctCount(); got != 3 { // giant + 2 solos
+		t.Errorf("DistinctCount = %d, want 3", got)
+	}
+}
+
+func TestRandomCollides(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := Random(50, 10, r)
+	if a.N() != 50 {
+		t.Fatalf("N = %d", a.N())
+	}
+	// With 50 draws from a space of 10, collisions are certain.
+	if got := a.DistinctCount(); got > 10 {
+		t.Errorf("DistinctCount = %d, want <= 10", got)
+	}
+}
+
+func TestDomains(t *testing.T) {
+	a := Domains(map[string]int{"acme.org": 3, "web.net": 2})
+	if a.N() != 5 {
+		t.Fatalf("N = %d, want 5", a.N())
+	}
+	if a.Mult("acme.org") != 3 || a.Mult("web.net") != 2 {
+		t.Errorf("unexpected multiplicities: %v", a)
+	}
+	// Deterministic ordering regardless of map iteration.
+	b := Domains(map[string]int{"web.net": 2, "acme.org": 3})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Domains not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Assignment{}).Validate(); err == nil {
+		t.Error("empty assignment should fail Validate")
+	}
+	if err := (Assignment{"a", ""}).Validate(); err == nil {
+		t.Error("empty identifier should fail Validate")
+	}
+}
+
+func TestISubAndInvariant(t *testing.T) {
+	a := Balanced(7, 2)
+	sub := []int{0, 2, 4}
+	m := a.ISub(sub)
+	if m.Len() != len(sub) {
+		t.Errorf("|I(S)| = %d, want |S| = %d", m.Len(), len(sub))
+	}
+}
+
+// The paper's basic invariant: |I(S)| = |S| for any subset S, and the sum of
+// multiplicities equals n.
+func TestQuickIdentityInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		var a Assignment
+		switch r.Intn(4) {
+		case 0:
+			a = Unique(n)
+		case 1:
+			a = AnonymousN(n)
+		case 2:
+			a = Balanced(n, 1+r.Intn(n))
+		default:
+			a = Random(n, 1+r.Intn(8), r)
+		}
+		if a.I().Len() != n {
+			return false
+		}
+		total := 0
+		for _, id := range a.I().Support() {
+			total += a.Mult(id)
+			if a.Mult(id) != len(a.Homonyms(id)) {
+				return false
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package reduce
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/multiset"
+)
+
+// TestRelationMatrix executes every Figure-5 arrow under several seeds and
+// verifies the emulated detector satisfies the target class (E5).
+func TestRelationMatrix(t *testing.T) {
+	for _, rel := range All() {
+		rel := rel
+		t.Run(rel.From+"→"+rel.To, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				res, err := rel.Run(seed)
+				if err != nil {
+					t.Fatalf("seed %d (%s, %s): %v", seed, rel.Source, rel.Model, err)
+				}
+				if res.StabilizationTime < 0 {
+					t.Fatalf("negative stabilization time")
+				}
+			}
+		})
+	}
+}
+
+func TestSubMultisetsContaining(t *testing.T) {
+	m := multiset.From[ident.ID]("a", "a", "b")
+	subs := SubMultisetsContaining(m, "a")
+	// Sub-multisets of {a,a,b}: counts a∈{0,1,2} × b∈{0,1} = 6 total; those
+	// containing ≥1 'a': 4: {a}, {a,b}, {a,a}, {a,a,b}.
+	if len(subs) != 4 {
+		t.Fatalf("got %d sub-multisets, want 4: %v", len(subs), subs)
+	}
+	keys := make(map[string]bool)
+	for _, s := range subs {
+		if !s.Contains("a") {
+			t.Errorf("sub-multiset %v lacks the mandatory element", s)
+		}
+		if !s.SubsetOf(m) {
+			t.Errorf("sub-multiset %v not ⊆ %v", s, m)
+		}
+		keys[s.Key()] = true
+	}
+	if len(keys) != 4 {
+		t.Errorf("duplicates in enumeration: %v", subs)
+	}
+}
+
+func TestSubMultisetsContainingAbsent(t *testing.T) {
+	m := multiset.From[ident.ID]("a")
+	if subs := SubMultisetsContaining(m, "z"); len(subs) != 0 {
+		t.Errorf("got %v for an absent identifier, want none", subs)
+	}
+}
+
+func TestSubMultisetsContainingSingleton(t *testing.T) {
+	m := multiset.From[ident.ID]("x")
+	subs := SubMultisetsContaining(m, "x")
+	if len(subs) != 1 || !subs[0].Equal(m) {
+		t.Errorf("got %v, want just {x}", subs)
+	}
+}

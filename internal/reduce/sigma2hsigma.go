@@ -1,0 +1,229 @@
+// Package reduce implements the paper's reductions between failure
+// detector classes (§3.3): the algorithms of Figures 1, 2 and 4, the local
+// transformations of Theorem 3, Lemmas 2–3 and Observation 1, and a
+// machine-checked relation matrix covering the Figure 5 diagram.
+//
+// A reduction builds (emulates) a detector of a target class from a
+// detector of a source class, sometimes with communication. Reductions are
+// simulator modules; the emulated detector is queried through the same
+// fd interfaces as native implementations, so the same property checkers
+// certify them.
+package reduce
+
+import (
+	"repro/internal/fd"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// DefaultPollInterval is the sampling period of the "repeat forever" loops
+// in the reduction algorithms.
+const DefaultPollInterval sim.Time = 5
+
+// SigmaToHSigmaKnown is Figure 1: transforming a detector D ∈ Σ into a
+// detector of class HΣ in a system with unique identifiers where every
+// process initially knows the membership I(Π). No communication is used:
+// h_labels is fixed to every subset of I(Π) containing id(p), and the
+// repeat-forever loop accumulates pairs (q, q) for every value q read from
+// D.trusted.
+type SigmaToHSigmaKnown struct {
+	env        sim.Environment
+	source     fd.Sigma
+	poll       sim.Time
+	membership *multiset.Multiset[ident.ID]
+
+	labels []fd.Label
+	quora  []fd.QuorumPair
+	known  map[fd.Label]bool
+}
+
+var (
+	_ sim.Process = (*SigmaToHSigmaKnown)(nil)
+	_ fd.HSigma   = (*SigmaToHSigmaKnown)(nil)
+)
+
+// NewSigmaToHSigmaKnown builds the Figure 1 transformer for one process.
+// membership is I(Π); source is the Σ detector D.
+func NewSigmaToHSigmaKnown(source fd.Sigma, membership *multiset.Multiset[ident.ID], poll sim.Time) *SigmaToHSigmaKnown {
+	if poll < 1 {
+		poll = DefaultPollInterval
+	}
+	return &SigmaToHSigmaKnown{
+		source:     source,
+		poll:       poll,
+		known:      make(map[fd.Label]bool),
+		membership: membership.Clone(),
+	}
+}
+
+// Init implements sim.Process: fix h_labels and start the polling loop.
+func (m *SigmaToHSigmaKnown) Init(env sim.Environment) {
+	m.env = env
+	for _, s := range SubMultisetsContaining(m.membership, env.ID()) {
+		m.labels = append(m.labels, fd.Label(s.Key()))
+	}
+	m.sample()
+	env.SetTimer(m.poll, 0)
+}
+
+// OnTimer implements sim.Process (the repeat-forever loop).
+func (m *SigmaToHSigmaKnown) OnTimer(tag int) {
+	m.sample()
+	m.env.SetTimer(m.poll, tag)
+}
+
+// OnMessage implements sim.Process; Figure 1 uses no messages.
+func (m *SigmaToHSigmaKnown) OnMessage(any) {}
+
+func (m *SigmaToHSigmaKnown) sample() {
+	q := m.source.TrustedQuorum()
+	label := fd.Label(q.Key())
+	if m.known[label] {
+		return
+	}
+	m.known[label] = true
+	m.quora = append(m.quora, fd.QuorumPair{Label: label, M: q.Clone()})
+}
+
+// Quora implements fd.HSigma.
+func (m *SigmaToHSigmaKnown) Quora() []fd.QuorumPair { return cloneQuora(m.quora) }
+
+// Labels implements fd.HSigma.
+func (m *SigmaToHSigmaKnown) Labels() []fd.Label { return cloneLabels(m.labels) }
+
+// SigmaToHSigmaUnknown is Figure 2: the same transformation without
+// initial knowledge of the membership. Task T1 repeatedly broadcasts
+// IDENT(id(p)) and samples D.trusted into h_quora; Task T2 accumulates the
+// received identifiers into mship and recomputes h_labels as every subset
+// of mship containing id(p).
+type SigmaToHSigmaUnknown struct {
+	env    sim.Environment
+	source fd.Sigma
+	poll   sim.Time
+
+	mship  *multiset.Multiset[ident.ID] // set semantics: unique-id system
+	labels []fd.Label
+	quora  []fd.QuorumPair
+	known  map[fd.Label]bool
+}
+
+// IdentMsg is Figure 2's IDENT(id) message.
+type IdentMsg struct {
+	ID ident.ID
+}
+
+// MsgTag implements sim.Tagger.
+func (IdentMsg) MsgTag() string { return "IDENT" }
+
+var (
+	_ sim.Process = (*SigmaToHSigmaUnknown)(nil)
+	_ fd.HSigma   = (*SigmaToHSigmaUnknown)(nil)
+)
+
+// NewSigmaToHSigmaUnknown builds the Figure 2 transformer.
+func NewSigmaToHSigmaUnknown(source fd.Sigma, poll sim.Time) *SigmaToHSigmaUnknown {
+	if poll < 1 {
+		poll = DefaultPollInterval
+	}
+	return &SigmaToHSigmaUnknown{
+		source: source,
+		poll:   poll,
+		mship:  multiset.New[ident.ID](),
+		known:  make(map[fd.Label]bool),
+	}
+}
+
+// Init implements sim.Process.
+func (m *SigmaToHSigmaUnknown) Init(env sim.Environment) {
+	m.env = env
+	env.Broadcast(IdentMsg{ID: env.ID()})
+	m.sample()
+	env.SetTimer(m.poll, 0)
+}
+
+// OnTimer implements sim.Process (Task T1).
+func (m *SigmaToHSigmaUnknown) OnTimer(tag int) {
+	m.env.Broadcast(IdentMsg{ID: m.env.ID()})
+	m.sample()
+	m.env.SetTimer(m.poll, tag)
+}
+
+// OnMessage implements sim.Process (Task T2).
+func (m *SigmaToHSigmaUnknown) OnMessage(payload any) {
+	msg, ok := payload.(IdentMsg)
+	if !ok {
+		return
+	}
+	if m.mship.Contains(msg.ID) {
+		return
+	}
+	m.mship.Add(msg.ID)
+	m.labels = m.labels[:0]
+	for _, s := range SubMultisetsContaining(m.mship, m.env.ID()) {
+		m.labels = append(m.labels, fd.Label(s.Key()))
+	}
+}
+
+func (m *SigmaToHSigmaUnknown) sample() {
+	q := m.source.TrustedQuorum()
+	label := fd.Label(q.Key())
+	if m.known[label] {
+		return
+	}
+	m.known[label] = true
+	m.quora = append(m.quora, fd.QuorumPair{Label: label, M: q.Clone()})
+}
+
+// Quora implements fd.HSigma.
+func (m *SigmaToHSigmaUnknown) Quora() []fd.QuorumPair { return cloneQuora(m.quora) }
+
+// Labels implements fd.HSigma.
+func (m *SigmaToHSigmaUnknown) Labels() []fd.Label { return cloneLabels(m.labels) }
+
+// SubMultisetsContaining enumerates every sub-multiset s ⊆ m with at least
+// one instance of id — the h_labels sets of Figures 1 and 2. The count is
+// ∏(multᵢ+1) over identifiers, so callers keep memberships small (the
+// reductions are about computability, not efficiency; the paper's Fig. 1–2
+// build these sets the same way).
+func SubMultisetsContaining(m *multiset.Multiset[ident.ID], id ident.ID) []*multiset.Multiset[ident.ID] {
+	support := m.Support()
+	var out []*multiset.Multiset[ident.ID]
+	cur := multiset.New[ident.ID]()
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(support) {
+			if cur.Contains(id) {
+				out = append(out, cur.Clone())
+			}
+			return
+		}
+		e := support[i]
+		maxK := m.Count(e)
+		for k := 0; k <= maxK; k++ {
+			rec(i + 1)
+			if k < maxK {
+				cur.Add(e)
+			}
+		}
+		for k := 0; k < maxK; k++ {
+			cur.Remove(e)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func cloneQuora(q []fd.QuorumPair) []fd.QuorumPair {
+	out := make([]fd.QuorumPair, len(q))
+	for i, p := range q {
+		out[i] = fd.QuorumPair{Label: p.Label, M: p.M.Clone()}
+	}
+	return out
+}
+
+func cloneLabels(ls []fd.Label) []fd.Label {
+	out := make([]fd.Label, len(ls))
+	copy(out, ls)
+	return out
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// Config describes one simulated system.
+type Config struct {
+	// IDs is the identity assignment; IDs.N() is the system size n.
+	IDs ident.Assignment
+	// Net is the network timing model. Defaults to Async{}.
+	Net Model
+	// Seed drives all randomness (delays, adversarial choices).
+	Seed int64
+	// KnownN exposes n to processes via Env.N. Only the Fig. 8 consensus
+	// model HAS[t<n/2, HΩ] sets it; the paper's other algorithms run with
+	// unknown membership.
+	KnownN bool
+	// Recorder, when non-nil, receives trace events.
+	Recorder *trace.Recorder
+	// MaxEvents caps the number of processed events as a runaway guard.
+	// Defaults to 5,000,000.
+	MaxEvents int
+}
+
+type eventKind int
+
+const (
+	evDeliver eventKind = iota + 1
+	evTimer
+	evCrash
+)
+
+type event struct {
+	time    Time
+	seq     uint64 // tie-break: FIFO among simultaneous events
+	kind    eventKind
+	pid     PID
+	payload any // evDeliver
+	tag     int // evTimer
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine runs one execution. Create it with New, attach processes with
+// AddProcess, optionally schedule crashes, then Run. Engines are not safe
+// for concurrent use; all determinism comes from the single event queue.
+type Engine struct {
+	cfg     Config
+	ids     ident.Assignment
+	rng     *rand.Rand
+	queue   eventQueue
+	seq     uint64
+	now     Time
+	procs   []Process
+	envs    []*Env
+	crashed []bool
+	// crashDuringBroadcast[p], when set, makes p's next broadcast at or
+	// after the stored time partial: each copy is delivered independently
+	// with the stored probability, then p crashes.
+	partialCrash []*partialCrash
+	afterEvent   []func(now Time)
+	processed    int
+	started      bool
+}
+
+type partialCrash struct {
+	after       Time
+	deliverProb float64
+}
+
+// New builds an engine for the given configuration. It panics on an invalid
+// identity assignment, which is an experiment-setup programming error.
+func New(cfg Config) *Engine {
+	if err := cfg.IDs.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	if cfg.Net == nil {
+		cfg.Net = Async{}
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 5_000_000
+	}
+	n := cfg.IDs.N()
+	return &Engine{
+		cfg:          cfg,
+		ids:          cfg.IDs,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		crashed:      make([]bool, n),
+		partialCrash: make([]*partialCrash, n),
+	}
+}
+
+// AddProcess binds the algorithm instance for the next unbound process
+// index and returns that index. Engines require exactly n processes before
+// Run; Init is deferred until the run starts so that all processes begin
+// together at time 0.
+func (e *Engine) AddProcess(p Process) PID {
+	if e.started {
+		panic("sim: AddProcess after run started")
+	}
+	if len(e.procs) >= e.ids.N() {
+		panic("sim: more processes than identities")
+	}
+	e.procs = append(e.procs, p)
+	e.envs = append(e.envs, &Env{eng: e, pid: PID(len(e.procs) - 1)})
+	return PID(len(e.procs) - 1)
+}
+
+// Env returns the environment of process p, mainly so tests and checkers
+// can read Now/ID through the same lens the process does.
+func (e *Engine) Env(p PID) *Env { return e.envs[p] }
+
+// IDs returns the identity assignment.
+func (e *Engine) IDs() ident.Assignment { return e.ids }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// CrashAt schedules process p to crash at time t: from then on it takes no
+// steps, receives nothing, and its broadcasts are ignored.
+func (e *Engine) CrashAt(p PID, t Time) {
+	e.push(&event{time: t, kind: evCrash, pid: p})
+}
+
+// CrashDuringBroadcast makes process p crash during its first broadcast at
+// or after time `after`: each copy of that final broadcast is delivered
+// independently with probability deliverProb (the "arbitrary subset" of the
+// model), and p is crashed immediately afterwards.
+func (e *Engine) CrashDuringBroadcast(p PID, after Time, deliverProb float64) {
+	e.partialCrash[p] = &partialCrash{after: after, deliverProb: deliverProb}
+}
+
+// Crashed reports whether p has crashed (so far).
+func (e *Engine) Crashed(p PID) bool { return e.crashed[p] }
+
+// CorrectSet returns the indexes of processes with no crash scheduled or
+// executed — the ground truth Correct set, assuming all scheduled crashes
+// eventually fire. Checkers use it; algorithms cannot.
+func (e *Engine) CorrectSet() []PID {
+	pending := make([]bool, e.ids.N())
+	for _, ev := range e.queue {
+		if ev.kind == evCrash {
+			pending[ev.pid] = true
+		}
+	}
+	var out []PID
+	for p := range e.crashed {
+		if !e.crashed[p] && !pending[p] && e.partialCrash[p] == nil {
+			out = append(out, PID(p))
+		}
+	}
+	return out
+}
+
+// CorrectIDs returns I(Correct), the multiset of identifiers of correct
+// processes.
+func (e *Engine) CorrectIDs() []ident.ID {
+	var out []ident.ID
+	for _, p := range e.CorrectSet() {
+		out = append(out, e.ids[p])
+	}
+	return out
+}
+
+// AfterEvent registers an observer invoked after every processed event,
+// with the then-current virtual time. Property checkers use it to sample
+// failure-detector outputs exactly when they can change.
+func (e *Engine) AfterEvent(f func(now Time)) {
+	e.afterEvent = append(e.afterEvent, f)
+}
+
+// Processed returns the number of events processed so far.
+func (e *Engine) Processed() int { return e.processed }
+
+// Run processes events until the queue is empty, virtual time would exceed
+// `until`, or the MaxEvents guard trips. It returns the number of events
+// processed during this call.
+func (e *Engine) Run(until Time) int {
+	return e.RunUntil(until, nil)
+}
+
+// RunUntil is Run with an early-exit predicate, evaluated after every
+// event; it returns the number of events processed during this call.
+func (e *Engine) RunUntil(until Time, done func() bool) int {
+	e.start()
+	count := 0
+	for len(e.queue) > 0 && e.processed < e.cfg.MaxEvents {
+		if e.queue[0].time > until {
+			break
+		}
+		e.step()
+		count++
+		if done != nil && done() {
+			break
+		}
+	}
+	return count
+}
+
+// start initializes all processes at time 0 (idempotent).
+func (e *Engine) start() {
+	if e.started {
+		return
+	}
+	if len(e.procs) != e.ids.N() {
+		panic(fmt.Sprintf("sim: %d processes bound, need %d", len(e.procs), e.ids.N()))
+	}
+	e.started = true
+	for p, proc := range e.procs {
+		if !e.crashed[p] {
+			proc.Init(e.envs[p])
+		}
+	}
+	e.notifyAfter()
+}
+
+// step processes the single earliest event.
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.time
+	e.processed++
+	switch ev.kind {
+	case evCrash:
+		if !e.crashed[ev.pid] {
+			e.crashed[ev.pid] = true
+			e.record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(ev.pid)})
+		}
+	case evDeliver:
+		if e.crashed[ev.pid] {
+			e.record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: int(ev.pid), MsgTag: tagOf(ev.payload), Detail: "recipient crashed"})
+			break
+		}
+		e.record(trace.Event{Time: e.now, Kind: trace.KindDeliver, PID: int(ev.pid), MsgTag: tagOf(ev.payload)})
+		e.procs[ev.pid].OnMessage(ev.payload)
+	case evTimer:
+		if e.crashed[ev.pid] {
+			break
+		}
+		e.record(trace.Event{Time: e.now, Kind: trace.KindTimer, PID: int(ev.pid), Detail: fmt.Sprintf("tag=%d", ev.tag)})
+		e.procs[ev.pid].OnTimer(ev.tag)
+	}
+	e.notifyAfter()
+}
+
+func (e *Engine) notifyAfter() {
+	for _, f := range e.afterEvent {
+		f(e.now)
+	}
+}
+
+func (e *Engine) broadcast(from PID, payload any) {
+	if e.crashed[from] {
+		return
+	}
+	pc := e.partialCrash[from]
+	partial := pc != nil && e.now >= pc.after
+	e.record(trace.Event{Time: e.now, Kind: trace.KindBroadcast, PID: int(from), MsgTag: tagOf(payload)})
+	for to := range e.procs {
+		if partial && e.rng.Float64() >= pc.deliverProb {
+			e.record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tagOf(payload), Detail: "sender crashed mid-broadcast"})
+			continue
+		}
+		d, ok := e.cfg.Net.Delay(e.now, e.rng)
+		if !ok {
+			e.record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tagOf(payload), Detail: "lost"})
+			continue
+		}
+		if d < 1 {
+			d = 1
+		}
+		e.push(&event{time: e.now + d, kind: evDeliver, pid: PID(to), payload: payload})
+	}
+	if partial {
+		e.partialCrash[from] = nil
+		e.crashed[from] = true
+		e.record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(from), Detail: "mid-broadcast"})
+	}
+}
+
+func (e *Engine) setTimer(p PID, d Time, tag int) {
+	if d < 1 {
+		d = 1
+	}
+	e.push(&event{time: e.now + d, kind: evTimer, pid: p, tag: tag})
+}
+
+func (e *Engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+func (e *Engine) record(ev trace.Event) {
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(ev)
+	}
+}
+
+// Note records a custom trace event on behalf of process p; algorithms use
+// it (via Env.Note) to mark decisions and failure-detector output changes.
+func (e *Engine) note(p PID, kind trace.Kind, tag, detail string) {
+	e.record(trace.Event{Time: e.now, Kind: kind, PID: int(p), MsgTag: tag, Detail: detail})
+}
+
+func tagOf(payload any) string {
+	if t, ok := payload.(Tagger); ok {
+		return t.MsgTag()
+	}
+	return fmt.Sprintf("%T", payload)
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// A Node composes several modules (algorithm layers) on one simulated
+// process: typically a failure-detector implementation underneath a
+// consensus algorithm, exactly as the paper combines, e.g., the Fig. 6
+// detector with the Fig. 8 consensus to solve consensus in HPS.
+//
+// Each module broadcasts and receives through its own namespaced channel
+// (payloads are wrapped in envelopes), and modules on the same node may
+// share memory directly — a failure detector is a local oracle to the
+// layers above it. After any event is dispatched to any module, every
+// module implementing Poller is polled, so guard conditions that observe
+// another module's output (e.g. "wait until D.h_leader ≠ id(p)") are
+// re-evaluated whenever that output may have changed.
+type Node struct {
+	modules []namedModule
+	byName  map[string]int
+	env     Environment
+}
+
+type namedModule struct {
+	name string
+	proc Process
+}
+
+// Poller is implemented by modules whose guard conditions depend on state
+// outside their own message stream (another module's output). Poll is
+// invoked after every event processed by the node.
+type Poller interface {
+	Poll()
+}
+
+// NewNode creates an empty node; attach layers with Add in bottom-up order,
+// then register the node itself with Engine.AddProcess.
+func NewNode() *Node {
+	return &Node{byName: make(map[string]int)}
+}
+
+// Add attaches a module under a unique name and returns the node for
+// chaining. It panics on duplicate names (an experiment-setup error).
+func (n *Node) Add(name string, p Process) *Node {
+	if _, dup := n.byName[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate module name %q", name))
+	}
+	n.byName[name] = len(n.modules)
+	n.modules = append(n.modules, namedModule{name: name, proc: p})
+	return n
+}
+
+// envelope carries a module's payload on the wire, namespaced by module
+// name so that co-located stacks on different processes interoperate.
+type envelope struct {
+	Module  string
+	Payload any
+}
+
+// MsgTag implements Tagger, preserving the inner payload's tag.
+func (e envelope) MsgTag() string { return tagOf(e.Payload) }
+
+// Init implements Process.
+func (n *Node) Init(env Environment) {
+	n.env = env
+	for i, m := range n.modules {
+		m.proc.Init(&moduleEnv{node: n, index: i})
+	}
+	n.pollAll()
+}
+
+// OnMessage implements Process: it unwraps the envelope and dispatches to
+// the addressed module. Messages for modules this node does not run are
+// ignored (heterogeneous deployments are legal).
+func (n *Node) OnMessage(payload any) {
+	env, ok := payload.(envelope)
+	if !ok {
+		// Unwrapped payloads go to every module; this keeps single-module
+		// nodes interoperable with bare processes.
+		for _, m := range n.modules {
+			m.proc.OnMessage(payload)
+		}
+		n.pollAll()
+		return
+	}
+	if i, ok := n.byName[env.Module]; ok {
+		n.modules[i].proc.OnMessage(env.Payload)
+	}
+	n.pollAll()
+}
+
+// OnTimer implements Process, demultiplexing the namespaced timer tag.
+func (n *Node) OnTimer(tag int) {
+	k := len(n.modules)
+	idx, inner := tag%k, tag/k
+	n.modules[idx].proc.OnTimer(inner)
+	n.pollAll()
+}
+
+func (n *Node) pollAll() {
+	for _, m := range n.modules {
+		if p, ok := m.proc.(Poller); ok {
+			p.Poll()
+		}
+	}
+}
+
+// moduleEnv is the namespaced Environment handed to each module.
+type moduleEnv struct {
+	node  *Node
+	index int
+}
+
+var _ Environment = (*moduleEnv)(nil)
+
+func (m *moduleEnv) ID() ident.ID     { return m.node.env.ID() }
+func (m *moduleEnv) N() (int, bool)   { return m.node.env.N() }
+func (m *moduleEnv) Now() Time        { return m.node.env.Now() }
+func (m *moduleEnv) Rand() *rand.Rand { return m.node.env.Rand() }
+func (m *moduleEnv) PID() PID         { return m.node.env.PID() }
+
+func (m *moduleEnv) Broadcast(payload any) {
+	m.node.env.Broadcast(envelope{Module: m.node.modules[m.index].name, Payload: payload})
+}
+
+func (m *moduleEnv) SetTimer(d Time, tag int) {
+	if tag < 0 {
+		panic("sim: module timer tags must be non-negative")
+	}
+	m.node.env.SetTimer(d, tag*len(m.node.modules)+m.index)
+}
+
+func (m *moduleEnv) Note(kind trace.Kind, tag, detail string) {
+	m.node.env.Note(kind, tag, detail)
+}

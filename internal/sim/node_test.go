@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+)
+
+// lowerMod broadcasts a PING at init and exposes how many PINGs it saw.
+type lowerMod struct {
+	env   Environment
+	pings int
+}
+
+type ping struct{}
+
+func (ping) MsgTag() string { return "PING" }
+
+func (m *lowerMod) Init(env Environment) { m.env = env; env.Broadcast(ping{}) }
+func (m *lowerMod) OnMessage(any)        { m.pings++ }
+func (m *lowerMod) OnTimer(int)          {}
+
+// upperMod observes the lower module's state via shared memory and records
+// Poll invocations; it also exchanges its own QUERY messages.
+type upperMod struct {
+	env     Environment
+	lower   *lowerMod
+	queries int
+	polls   int
+	sawPing bool
+}
+
+type query struct{}
+
+func (query) MsgTag() string { return "QUERY" }
+
+func (m *upperMod) Init(env Environment) { m.env = env; env.Broadcast(query{}) }
+func (m *upperMod) OnMessage(any)        { m.queries++ }
+func (m *upperMod) OnTimer(int)          {}
+func (m *upperMod) Poll() {
+	m.polls++
+	if m.lower.pings > 0 {
+		m.sawPing = true
+	}
+}
+
+func TestNodeModulesAreNamespaced(t *testing.T) {
+	n := 3
+	eng := New(Config{IDs: ident.Unique(n), Net: Timely{Delta: 1}, Seed: 1})
+	lowers := make([]*lowerMod, n)
+	uppers := make([]*upperMod, n)
+	for i := 0; i < n; i++ {
+		lowers[i] = &lowerMod{}
+		uppers[i] = &upperMod{lower: lowers[i]}
+		node := NewNode().Add("fd", lowers[i]).Add("cons", uppers[i])
+		eng.AddProcess(node)
+	}
+	eng.Run(50)
+	for i := 0; i < n; i++ {
+		if lowers[i].pings != n {
+			t.Errorf("node %d lower got %d PINGs, want %d", i, lowers[i].pings, n)
+		}
+		if uppers[i].queries != n {
+			t.Errorf("node %d upper got %d QUERYs, want %d", i, uppers[i].queries, n)
+		}
+		if !uppers[i].sawPing {
+			t.Errorf("node %d upper never observed lower state via Poll", i)
+		}
+		if uppers[i].polls == 0 {
+			t.Errorf("node %d upper was never polled", i)
+		}
+	}
+}
+
+func TestNodeTimerDemux(t *testing.T) {
+	eng := New(Config{IDs: ident.Unique(1), Seed: 1})
+	a, b := &tickMod{delay: 3, tag: 5}, &tickMod{delay: 7, tag: 9}
+	eng.AddProcess(NewNode().Add("a", a).Add("b", b))
+	eng.Run(20)
+	if len(a.fired) == 0 || a.fired[0] != 5 {
+		t.Errorf("module a timer tags = %v, want leading 5", a.fired)
+	}
+	if len(b.fired) == 0 || b.fired[0] != 9 {
+		t.Errorf("module b timer tags = %v, want leading 9", b.fired)
+	}
+}
+
+type tickMod struct {
+	env   Environment
+	delay Time
+	tag   int
+	fired []int
+}
+
+func (m *tickMod) Init(env Environment) { m.env = env; env.SetTimer(m.delay, m.tag) }
+func (m *tickMod) OnMessage(any)        {}
+func (m *tickMod) OnTimer(tag int) {
+	m.fired = append(m.fired, tag)
+	m.env.SetTimer(m.delay, m.tag)
+}
+
+func TestNodeDuplicateNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate module name should panic")
+		}
+	}()
+	NewNode().Add("x", &lowerMod{}).Add("x", &lowerMod{})
+}
+
+func TestBareProcessAndNodeInterop(t *testing.T) {
+	// An envelope-less payload from a bare process reaches node modules.
+	eng := New(Config{IDs: ident.Unique(2), Net: Timely{Delta: 1}, Seed: 2})
+	bare := &echoProc{}
+	lower := &lowerMod{}
+	eng.AddProcess(bare)
+	eng.AddProcess(NewNode().Add("fd", lower))
+	eng.Run(20)
+	// bare broadcasts hello{} unwrapped: the node fans it to all modules.
+	if lower.pings != 2 {
+		// lower sees: its own PING envelope + unwrapped hello = 2 OnMessage calls.
+		t.Errorf("lower OnMessage count = %d, want 2", lower.pings)
+	}
+}

@@ -1,0 +1,124 @@
+// Package sim is a deterministic discrete-event simulator for homonymous
+// message-passing systems, the substrate every algorithm in this repository
+// runs on. It reproduces the paper's system model (§2):
+//
+//   - n processes Π, each knowing only its own identifier id(p); several
+//     processes may share an identifier (homonymy). Internal process indexes
+//     (PIDs) are a formalization tool and are never visible to algorithms.
+//   - communication by broadcast(m): one copy of m is sent along the
+//     directed link from the sender to every process, including itself; a
+//     receiver cannot tell which link a message arrived on.
+//   - crash failures: a crashed process stops taking steps; a process that
+//     crashes while broadcasting delivers to an arbitrary subset.
+//   - timing models: HAS (asynchronous, reliable links), HPS (partially
+//     synchronous: messages sent after an unknown GST are delivered within
+//     an unknown bound δ; earlier messages may be lost or delayed
+//     arbitrarily but finitely), and HSS (synchronous lock-step; see the
+//     SyncEngine in sync.go).
+//
+// Executions are driven by a single seeded event queue, so every run is
+// reproducible and costs (messages, virtual stabilization times) are exact.
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// Time is virtual time. Timer durations and network delays are measured in
+// the same abstract units; processes execute their steps instantaneously.
+type Time = int64
+
+// PID is the internal index of a process in Π. It exists for the simulator,
+// crash schedules, and checkers; algorithm code must not use it.
+type PID int
+
+// Process is an event-driven algorithm instance. The simulator calls Init
+// exactly once before any other method, then OnMessage for every delivered
+// message and OnTimer for every expired timer. Calls for one process are
+// strictly sequential, so implementations need no locking.
+type Process interface {
+	// Init gives the process its environment. Implementations typically
+	// broadcast an initial message or set an initial timer here.
+	Init(env Environment)
+	// OnMessage delivers a broadcast payload. The receiver cannot identify
+	// the sender link, matching the model.
+	OnMessage(payload any)
+	// OnTimer fires a timer previously set with Environment.SetTimer.
+	OnTimer(tag int)
+}
+
+// Environment is a process's handle on the system. The engine provides the
+// real implementation (*Env); node composition wraps it so that stacked
+// modules share one simulated process (see Node).
+type Environment interface {
+	// ID returns this process's identifier id(p) — the only identity
+	// knowledge a process starts with.
+	ID() ident.ID
+	// N returns the system size n and whether it is known. Only models
+	// that grant initial knowledge of n (the paper's §5.2) report ok.
+	N() (n int, ok bool)
+	// Now returns the current virtual time.
+	Now() Time
+	// Rand returns the run's deterministic random source.
+	Rand() *rand.Rand
+	// Broadcast sends payload to every process, including the caller.
+	Broadcast(payload any)
+	// SetTimer schedules OnTimer(tag) after d units (clamped to >= 1).
+	// Timers are one-shot and tags must be non-negative.
+	SetTimer(d Time, tag int)
+	// Note records a custom trace event (decision, detector change).
+	Note(kind trace.Kind, tag, detail string)
+	// PID returns the internal index, for traces and checkers only.
+	PID() PID
+}
+
+// Tagger is implemented by payloads that want a message-type tag in traces
+// and statistics (e.g. "POLLING", "PH1"). Untagged payloads are traced with
+// their Go type name.
+type Tagger interface {
+	MsgTag() string
+}
+
+// Env is the engine-backed Environment given to top-level processes.
+type Env struct {
+	eng *Engine
+	pid PID
+}
+
+var _ Environment = (*Env)(nil)
+
+// ID implements Environment.
+func (e *Env) ID() ident.ID { return e.eng.ids[e.pid] }
+
+// N implements Environment.
+func (e *Env) N() (n int, ok bool) {
+	if !e.eng.cfg.KnownN {
+		return 0, false
+	}
+	return len(e.eng.ids), true
+}
+
+// Now implements Environment.
+func (e *Env) Now() Time { return e.eng.now }
+
+// Rand implements Environment. Event processing order is deterministic, so
+// draws are reproducible per seed.
+func (e *Env) Rand() *rand.Rand { return e.eng.rng }
+
+// Broadcast implements Environment. A crashed process's broadcasts are
+// ignored.
+func (e *Env) Broadcast(payload any) { e.eng.broadcast(e.pid, payload) }
+
+// SetTimer implements Environment.
+func (e *Env) SetTimer(d Time, tag int) { e.eng.setTimer(e.pid, d, tag) }
+
+// PID implements Environment.
+func (e *Env) PID() PID { return e.pid }
+
+// Note implements Environment.
+func (e *Env) Note(kind trace.Kind, tag, detail string) {
+	e.eng.note(e.pid, kind, tag, detail)
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// SyncProcess is an algorithm for the synchronous model HSS[∅]: execution
+// proceeds in lock-step steps. In each step every alive process first
+// broadcasts (StepSend), then receives every message sent in the same step
+// by processes that did not crash mid-broadcast (StepRecv). This is exactly
+// the execution structure the paper's Fig. 7 HΣ implementation assumes.
+type SyncProcess interface {
+	// StepSend returns the payloads this process broadcasts in the current
+	// step (usually exactly one).
+	StepSend(env *SyncEnv) []any
+	// StepRecv delivers all payloads broadcast in this step that reached
+	// this process, in a deterministic order.
+	StepRecv(env *SyncEnv, received []any)
+}
+
+// SyncEnv is the environment visible to a synchronous process.
+type SyncEnv struct {
+	eng *SyncEngine
+	pid PID
+}
+
+// ID returns this process's identifier.
+func (e *SyncEnv) ID() ident.ID { return e.eng.ids[e.pid] }
+
+// Step returns the current step number, starting at 1.
+func (e *SyncEnv) Step() int { return e.eng.step }
+
+// Rand returns the run's deterministic random source.
+func (e *SyncEnv) Rand() *rand.Rand { return e.eng.rng }
+
+// PID returns the internal index, for traces and checkers only.
+func (e *SyncEnv) PID() PID { return e.pid }
+
+// SyncConfig describes a synchronous system.
+type SyncConfig struct {
+	IDs      ident.Assignment
+	Seed     int64
+	Recorder *trace.Recorder
+}
+
+// SyncEngine runs lock-step executions.
+type SyncEngine struct {
+	cfg       SyncConfig
+	ids       ident.Assignment
+	rng       *rand.Rand
+	procs     []SyncProcess
+	envs      []*SyncEnv
+	crashed   []bool
+	schedule  map[int][]syncCrash // step -> crashes happening in that step
+	step      int
+	afterStep []func(step int)
+}
+
+type syncCrash struct {
+	pid         PID
+	deliverProb float64
+}
+
+// NewSync builds a synchronous engine.
+func NewSync(cfg SyncConfig) *SyncEngine {
+	if err := cfg.IDs.Validate(); err != nil {
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	return &SyncEngine{
+		cfg:      cfg,
+		ids:      cfg.IDs,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		crashed:  make([]bool, cfg.IDs.N()),
+		schedule: make(map[int][]syncCrash),
+	}
+}
+
+// AddProcess binds the next process and returns its index.
+func (e *SyncEngine) AddProcess(p SyncProcess) PID {
+	if len(e.procs) >= e.ids.N() {
+		panic("sim: more processes than identities")
+	}
+	e.procs = append(e.procs, p)
+	e.envs = append(e.envs, &SyncEnv{eng: e, pid: PID(len(e.procs) - 1)})
+	return PID(len(e.procs) - 1)
+}
+
+// CrashAtStep schedules process p to crash during the given step (1-based):
+// its broadcast in that step reaches each other process independently with
+// probability deliverProb (the model's "arbitrary subset"), it receives
+// nothing in that step, and it takes no further steps.
+func (e *SyncEngine) CrashAtStep(p PID, step int, deliverProb float64) {
+	e.schedule[step] = append(e.schedule[step], syncCrash{pid: p, deliverProb: deliverProb})
+}
+
+// Crashed reports whether p has crashed so far.
+func (e *SyncEngine) Crashed(p PID) bool { return e.crashed[p] }
+
+// CorrectSet returns the ground-truth correct processes, assuming every
+// scheduled crash fires.
+func (e *SyncEngine) CorrectSet() []PID {
+	pending := make([]bool, e.ids.N())
+	for _, crashes := range e.schedule {
+		for _, c := range crashes {
+			pending[c.pid] = true
+		}
+	}
+	var out []PID
+	for p := range e.crashed {
+		if !e.crashed[p] && !pending[p] {
+			out = append(out, PID(p))
+		}
+	}
+	return out
+}
+
+// IDs returns the identity assignment.
+func (e *SyncEngine) IDs() ident.Assignment { return e.ids }
+
+// Step returns the number of completed steps.
+func (e *SyncEngine) Step() int { return e.step }
+
+// AfterStep registers an observer invoked at the end of every step; the
+// property checkers sample detector outputs there.
+func (e *SyncEngine) AfterStep(f func(step int)) {
+	e.afterStep = append(e.afterStep, f)
+}
+
+// RunSteps executes k synchronous steps.
+func (e *SyncEngine) RunSteps(k int) {
+	if len(e.procs) != e.ids.N() {
+		panic(fmt.Sprintf("sim: %d processes bound, need %d", len(e.procs), e.ids.N()))
+	}
+	for i := 0; i < k; i++ {
+		e.runOneStep()
+	}
+}
+
+func (e *SyncEngine) runOneStep() {
+	e.step++
+	crashingNow := make(map[PID]float64)
+	for _, c := range e.schedule[e.step] {
+		if !e.crashed[c.pid] {
+			crashingNow[c.pid] = c.deliverProb
+		}
+	}
+
+	// Send sub-phase: every alive process broadcasts; a process crashing in
+	// this step broadcasts to an arbitrary subset.
+	inboxes := make([][]any, e.ids.N())
+	for p := range e.procs {
+		pid := PID(p)
+		if e.crashed[p] {
+			continue
+		}
+		payloads := e.procs[p].StepSend(e.envs[p])
+		prob, crashing := crashingNow[pid]
+		for _, payload := range payloads {
+			e.record(trace.Event{Time: int64(e.step), Kind: trace.KindBroadcast, PID: p, MsgTag: tagOf(payload)})
+			for q := range e.procs {
+				if e.crashed[q] {
+					continue
+				}
+				if _, qc := crashingNow[PID(q)]; qc {
+					continue // a process crashing this step receives nothing
+				}
+				if crashing && e.rng.Float64() >= prob {
+					e.record(trace.Event{Time: int64(e.step), Kind: trace.KindDrop, PID: q, MsgTag: tagOf(payload), Detail: "sender crashed mid-broadcast"})
+					continue
+				}
+				inboxes[q] = append(inboxes[q], payload)
+			}
+		}
+	}
+
+	// Crash sub-phase.
+	for pid := range crashingNow {
+		e.crashed[pid] = true
+		e.record(trace.Event{Time: int64(e.step), Kind: trace.KindCrash, PID: int(pid)})
+	}
+
+	// Receive sub-phase: every still-alive process receives this step's
+	// messages.
+	for p := range e.procs {
+		if e.crashed[p] {
+			continue
+		}
+		for _, payload := range inboxes[p] {
+			e.record(trace.Event{Time: int64(e.step), Kind: trace.KindDeliver, PID: p, MsgTag: tagOf(payload)})
+		}
+		e.procs[p].StepRecv(e.envs[p], inboxes[p])
+	}
+
+	for _, f := range e.afterStep {
+		f(e.step)
+	}
+}
+
+func (e *SyncEngine) record(ev trace.Event) {
+	if e.cfg.Recorder != nil {
+		e.cfg.Recorder.Record(ev)
+	}
+}

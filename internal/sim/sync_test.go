@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// identSender is the shape of the paper's synchronous algorithms: broadcast
+// your identity each step, collect what arrives.
+type identSender struct {
+	perStep [][]ident.ID
+}
+
+type identMsg struct{ ID ident.ID }
+
+func (identMsg) MsgTag() string { return "IDENT" }
+
+func (p *identSender) StepSend(env *SyncEnv) []any {
+	return []any{identMsg{ID: env.ID()}}
+}
+
+func (p *identSender) StepRecv(_ *SyncEnv, received []any) {
+	var ids []ident.ID
+	for _, m := range received {
+		ids = append(ids, m.(identMsg).ID)
+	}
+	p.perStep = append(p.perStep, ids)
+}
+
+func newSync(t *testing.T, ids ident.Assignment, seed int64) (*SyncEngine, []*identSender) {
+	t.Helper()
+	eng := NewSync(SyncConfig{IDs: ids, Seed: seed, Recorder: trace.NewRecorder()})
+	procs := make([]*identSender, ids.N())
+	for i := range procs {
+		procs[i] = &identSender{}
+		eng.AddProcess(procs[i])
+	}
+	return eng, procs
+}
+
+func TestSyncStepDeliversAll(t *testing.T) {
+	eng, procs := newSync(t, ident.Balanced(4, 2), 1)
+	eng.RunSteps(3)
+	for i, p := range procs {
+		if len(p.perStep) != 3 {
+			t.Fatalf("process %d saw %d steps, want 3", i, len(p.perStep))
+		}
+		for s, ids := range p.perStep {
+			if len(ids) != 4 {
+				t.Errorf("process %d step %d received %d idents, want 4", i, s+1, len(ids))
+			}
+		}
+	}
+}
+
+func TestSyncCrashAtStep(t *testing.T) {
+	eng, procs := newSync(t, ident.Unique(3), 2)
+	eng.CrashAtStep(2, 2, 0) // deliverProb 0: nobody gets its step-2 broadcast
+	eng.RunSteps(4)
+	if !eng.Crashed(2) {
+		t.Fatal("process 2 should be crashed after step 2")
+	}
+	// Step 1: everyone got 3. Steps 2..4: survivors get 2.
+	for i := 0; i < 2; i++ {
+		got := procs[i].perStep
+		if len(got[0]) != 3 {
+			t.Errorf("process %d step 1: %d idents, want 3", i, len(got[0]))
+		}
+		for s := 1; s < 4; s++ {
+			if len(got[s]) != 2 {
+				t.Errorf("process %d step %d: %d idents, want 2", i, s+1, len(got[s]))
+			}
+		}
+	}
+	// The crashed process stops observing steps after its crash step.
+	if len(procs[2].perStep) != 1 {
+		t.Errorf("crashed process observed %d steps, want 1 (it receives nothing in its crash step)", len(procs[2].perStep))
+	}
+}
+
+func TestSyncCrashPartialBroadcast(t *testing.T) {
+	// deliverProb 0.5 over many receivers: some but not all copies land.
+	n := 30
+	eng, procs := newSync(t, ident.Unique(n), 7)
+	eng.CrashAtStep(0, 1, 0.5)
+	eng.RunSteps(1)
+	withCopy, withoutCopy := 0, 0
+	crashedID := eng.IDs()[0]
+	for i := 1; i < n; i++ {
+		found := false
+		for _, id := range procs[i].perStep[0] {
+			if id == crashedID {
+				found = true
+			}
+		}
+		if found {
+			withCopy++
+		} else {
+			withoutCopy++
+		}
+	}
+	if withCopy == 0 || withoutCopy == 0 {
+		t.Errorf("partial broadcast not partial: %d got copy, %d did not", withCopy, withoutCopy)
+	}
+}
+
+func TestSyncCorrectSet(t *testing.T) {
+	eng, _ := newSync(t, ident.Unique(5), 3)
+	eng.CrashAtStep(1, 3, 1)
+	eng.CrashAtStep(4, 9, 1)
+	got := eng.CorrectSet()
+	want := []PID{0, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("CorrectSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CorrectSet = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSyncDeterminism(t *testing.T) {
+	run := func() [][]ident.ID {
+		eng, procs := newSync(t, ident.Balanced(6, 3), 99)
+		eng.CrashAtStep(1, 2, 0.5)
+		eng.RunSteps(5)
+		var out [][]ident.ID
+		for _, p := range procs {
+			out = append(out, p.perStep...)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("step slice %d differs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("entry %d/%d differs: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package trace records what happens during a simulated execution: message
+// sends, deliveries, drops, crashes, timers, decisions, and failure-detector
+// output changes. Recorders feed the property checkers (which need timed
+// output samples and the ground-truth fault pattern) and the experiment
+// harness (which reports message/round costs).
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds. Broadcast counts one per broadcast invocation; Deliver/Drop
+// count per (sender, receiver) copy, matching the paper's model where
+// broadcast(m) sends one copy along every directed link.
+const (
+	KindBroadcast Kind = iota + 1
+	KindDeliver
+	KindDrop
+	KindCrash
+	KindTimer
+	KindDecide
+	KindFDChange
+	KindNote
+)
+
+var kindNames = map[Kind]string{
+	KindBroadcast: "broadcast",
+	KindDeliver:   "deliver",
+	KindDrop:      "drop",
+	KindCrash:     "crash",
+	KindTimer:     "timer",
+	KindDecide:    "decide",
+	KindFDChange:  "fd-change",
+	KindNote:      "note",
+}
+
+// String returns the lowercase event-kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one timed occurrence in an execution. PID is the internal
+// process index the event concerns (the receiver for deliveries).
+type Event struct {
+	Time   int64
+	Kind   Kind
+	PID    int
+	MsgTag string // message type tag, e.g. "POLLING", "PH1"
+	Detail string
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	if e.MsgTag == "" {
+		return fmt.Sprintf("t=%d p%d %s %s", e.Time, e.PID, e.Kind, e.Detail)
+	}
+	return fmt.Sprintf("t=%d p%d %s %s %s", e.Time, e.PID, e.Kind, e.MsgTag, e.Detail)
+}
+
+// Stats aggregates execution costs.
+type Stats struct {
+	Broadcasts int
+	Delivered  int
+	Dropped    int
+	Crashes    int
+	Timers     int
+	Decisions  int
+	ByTag      map[string]int // broadcasts per message tag
+}
+
+// Recorder accumulates events and statistics. The zero value is ready to
+// use and safe for concurrent use (the goroutine runtime shares one).
+// KeepEvents controls whether the full event list is retained; statistics
+// are always kept.
+type Recorder struct {
+	mu         sync.Mutex
+	KeepEvents bool
+	events     []Event
+	stats      Stats
+}
+
+// NewRecorder returns a recorder that retains full event lists.
+func NewRecorder() *Recorder {
+	return &Recorder{KeepEvents: true}
+}
+
+// Record adds an event.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch e.Kind {
+	case KindBroadcast:
+		r.stats.Broadcasts++
+		if r.stats.ByTag == nil {
+			r.stats.ByTag = make(map[string]int)
+		}
+		r.stats.ByTag[e.MsgTag]++
+	case KindDeliver:
+		r.stats.Delivered++
+	case KindDrop:
+		r.stats.Dropped++
+	case KindCrash:
+		r.stats.Crashes++
+	case KindTimer:
+		r.stats.Timers++
+	case KindDecide:
+		r.stats.Decisions++
+	}
+	if r.KeepEvents {
+		r.events = append(r.events, e)
+	}
+}
+
+// Stats returns a snapshot of the aggregate statistics.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.ByTag = make(map[string]int, len(r.stats.ByTag))
+	for k, v := range r.stats.ByTag {
+		s.ByTag[k] = v
+	}
+	return s
+}
+
+// Events returns a copy of the recorded events (empty unless KeepEvents).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Filter returns the recorded events matching the given kind.
+func (r *Recorder) Filter(k Kind) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
