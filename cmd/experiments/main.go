@@ -11,11 +11,14 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E6,E9); default all")
+	workers := flag.Int("workers", 0, "scenario parallelism (0 = all cores, 1 = serial); output is identical either way")
 	flag.Parse()
+	sweep.SetDefaultWorkers(*workers)
 
 	want := map[string]bool{}
 	if *only != "" {

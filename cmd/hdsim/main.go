@@ -6,8 +6,14 @@
 //
 // Algorithms: fig8 = HAS[t<n/2, HΩ] (Theorem 7); fig9 = HAS[HΩ, HΣ]
 // (Theorem 8, any number of crashes); fig9-anon = the anonymous AΩ
-// baseline. The run is verified (termination/validity/agreement) before
+// baseline. Every run is verified (termination/validity/agreement) before
 // results are printed; a verification failure exits non-zero.
+//
+// With -seeds k > 1 the same scenario is swept over k consecutive seeds in
+// parallel across all cores (deterministically: the report is identical
+// for any -workers value), and per-seed rows plus aggregates are printed:
+//
+//	go run ./cmd/hdsim -algo fig8 -n 7 -l 3 -t 3 -crashes 1:30 -seeds 64
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/fd/oracle"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -27,13 +34,16 @@ func main() {
 	l := flag.Int("l", 2, "number of distinct identifiers (1 = anonymous, n = unique)")
 	t := flag.Int("t", 2, "crash bound for fig8 (t < n/2)")
 	crashes := flag.String("crashes", "", "crash schedule pid:time[,pid:time...]")
-	seed := flag.Int64("seed", 1, "random seed")
+	seed := flag.Int64("seed", 1, "random seed (first seed of a sweep)")
+	seeds := flag.Int("seeds", 1, "number of consecutive seeds to sweep")
+	workers := flag.Int("workers", 0, "sweep parallelism (0 = all cores, 1 = serial)")
 	stabilize := flag.Int64("stabilize", 100, "oracle detector stabilization time")
 	adversary := flag.String("adversary", "rotate", "pre-stabilization oracle behaviour: none, rotate, split")
 	detectors := flag.String("detectors", "oracle", "oracle, or mp (fig8 only: the Figure 6 stack)")
 	gst := flag.Int64("gst", 0, "network GST (0 = fully asynchronous reliable)")
 	delta := flag.Int64("delta", 3, "post-GST latency bound")
 	flag.Parse()
+	sweep.SetDefaultWorkers(*workers)
 
 	sched, err := cliutil.ParseCrashes(*crashes)
 	if err != nil {
@@ -48,31 +58,38 @@ func main() {
 		"none": oracle.AdversaryNone, "rotate": oracle.AdversaryRotate, "split": oracle.AdversarySplit,
 	}[*adversary]
 
-	fmt.Printf("algo=%s n=%d ℓ=%d ids=%v crashes=%s seed=%d\n", *algo, *n, *l, ids, *crashes, *seed)
-
-	var rep hds.Report
-	var stats hds.Stats
-	switch *algo {
-	case "fig8":
-		src := hds.OracleDetectors
-		if *detectors == "mp" {
-			src = hds.MessagePassingDetectors
+	runOne := func(seed int64) (hds.Report, hds.Stats, error) {
+		switch *algo {
+		case "fig8":
+			src := hds.OracleDetectors
+			if *detectors == "mp" {
+				src = hds.MessagePassingDetectors
+			}
+			return hds.RunFig8(hds.Fig8Experiment{
+				IDs: ids, T: *t, Crashes: sched, Net: net,
+				Detectors: src, Stabilize: *stabilize, Adversary: adv, Seed: seed,
+				Horizon: 3_000_000,
+			})
+		case "fig9", "fig9-anon":
+			return hds.RunFig9(hds.Fig9Experiment{
+				IDs: ids, Crashes: sched, Net: net,
+				AnonymousBaseline: *algo == "fig9-anon",
+				Stabilize:         *stabilize, Adversary: adv, Seed: seed,
+				Horizon: 3_000_000,
+			})
+		default:
+			log.Fatalf("unknown algorithm %q", *algo)
+			panic("unreachable")
 		}
-		rep, stats, err = hds.RunFig8(hds.Fig8Experiment{
-			IDs: ids, T: *t, Crashes: sched, Net: net,
-			Detectors: src, Stabilize: *stabilize, Adversary: adv, Seed: *seed,
-			Horizon: 3_000_000,
-		})
-	case "fig9", "fig9-anon":
-		rep, stats, err = hds.RunFig9(hds.Fig9Experiment{
-			IDs: ids, Crashes: sched, Net: net,
-			AnonymousBaseline: *algo == "fig9-anon",
-			Stabilize:         *stabilize, Adversary: adv, Seed: *seed,
-			Horizon: 3_000_000,
-		})
-	default:
-		log.Fatalf("unknown algorithm %q", *algo)
 	}
+
+	if *seeds > 1 {
+		runSweep(*algo, ids, *crashes, *seed, *seeds, runOne)
+		return
+	}
+
+	fmt.Printf("algo=%s n=%d ℓ=%d ids=%v crashes=%s seed=%d\n", *algo, *n, *l, ids, *crashes, *seed)
+	rep, stats, err := runOne(*seed)
 	if err != nil {
 		log.Fatalf("verification failed: %v", err)
 	}
@@ -84,4 +101,67 @@ func main() {
 	fmt.Printf("  decisions span:   t=%d .. t=%d\n", rep.FirstDecision, rep.LastDecision)
 	fmt.Printf("  broadcasts:       %d total — %s\n", stats.Broadcasts, cliutil.FormatTagCounts(stats.ByTag))
 	fmt.Printf("  deliveries/drops: %d/%d\n", stats.Delivered, stats.Dropped)
+}
+
+// runSweep executes the scenario across consecutive seeds on the sweep
+// pool and prints per-seed rows plus min/mean/max aggregates.
+func runSweep(algo string, ids hds.Assignment, crashes string, first int64, k int, runOne func(int64) (hds.Report, hds.Stats, error)) {
+	fmt.Printf("algo=%s ids=%v crashes=%s seeds=%d..%d workers=%d\n",
+		algo, ids, crashes, first, first+int64(k)-1, sweep.DefaultWorkers())
+	type result struct {
+		rep   hds.Report
+		stats hds.Stats
+		err   error
+	}
+	seedList := make([]int64, k)
+	for i := range seedList {
+		seedList[i] = first + int64(i)
+	}
+	results := sweep.Map(seedList, func(_ int, s int64) result {
+		rep, stats, err := runOne(s)
+		return result{rep, stats, err}
+	})
+
+	var (
+		failures                        int
+		minD, maxD, sumD                hds.Time
+		minRounds, maxRounds, sumRounds int
+		sumBcast                        int
+	)
+	minD, minRounds = -1, -1
+	for i, r := range results {
+		if r.err != nil {
+			failures++
+			fmt.Printf("  seed=%-5d ✗ %v\n", seedList[i], r.err)
+			continue
+		}
+		fmt.Printf("  seed=%-5d rounds=%-3d decided=t=%-8d broadcasts=%d\n",
+			seedList[i], r.rep.MaxRound, r.rep.LastDecision, r.stats.Broadcasts)
+		if minD < 0 || r.rep.LastDecision < minD {
+			minD = r.rep.LastDecision
+		}
+		if r.rep.LastDecision > maxD {
+			maxD = r.rep.LastDecision
+		}
+		sumD += r.rep.LastDecision
+		if minRounds < 0 || r.rep.MaxRound < minRounds {
+			minRounds = r.rep.MaxRound
+		}
+		if r.rep.MaxRound > maxRounds {
+			maxRounds = r.rep.MaxRound
+		}
+		sumRounds += r.rep.MaxRound
+		sumBcast += r.stats.Broadcasts
+	}
+	okRuns := k - failures
+	if okRuns == 0 {
+		log.Fatalf("all %d runs failed verification", k)
+	}
+	fmt.Printf("verified %d/%d runs ✔\n", okRuns, k)
+	fmt.Printf("  decided at (vt): min=%d mean=%.1f max=%d\n", minD, float64(sumD)/float64(okRuns), maxD)
+	fmt.Printf("  rounds:          min=%d mean=%.1f max=%d\n", minRounds, float64(sumRounds)/float64(okRuns), maxRounds)
+	fmt.Printf("  broadcasts:      mean=%.1f\n", float64(sumBcast)/float64(okRuns))
+	if failures > 0 {
+		log.Fatalf("%d/%d runs failed verification", failures, k)
+	}
 }

@@ -64,11 +64,14 @@ func RunOHP(e OHPExperiment) (OHPResult, error) {
 		eng.CrashAt(p, at)
 	}
 	truth := fd.NewGroundTruth(e.IDs, e.Crashes)
+	// The trusted probe samples the detector's live view: no clone on the
+	// per-event path (OnTimer replaces h_trusted wholesale, so stored views
+	// are never mutated after sampling).
 	trustedProbe := fd.NewProbe(eng, n, func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
 		if eng.Crashed(p) {
 			return nil, false
 		}
-		return dets[p].Trusted(), true
+		return dets[p].TrustedView(), true
 	}, func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) })
 	leaderProbe := fd.NewProbe(eng, n, func(p sim.PID) (fd.LeaderInfo, bool) {
 		if eng.Crashed(p) {

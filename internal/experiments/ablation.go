@@ -9,6 +9,7 @@ import (
 	"repro/internal/fd/oracle"
 	"repro/internal/ident"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -35,30 +36,45 @@ func E14CoordinationAblation() Table {
 		runs     = 12
 		roundCap = 40
 	)
-	for _, l := range []int{n, 2} {
-		for _, ablate := range []bool{false, true} {
-			variant := "full (with COORD)"
-			if ablate {
-				variant = "ablated (no COORD)"
-			}
-			decided, safetyViolations, maxRounds := 0, 0, 0
-			for seed := int64(0); seed < runs; seed++ {
-				ok, rounds, unsafe := runAblated(n, l, tt, ablate, roundCap, seed)
-				if ok {
-					decided++
-				}
-				if unsafe {
-					safetyViolations++
-				}
-				if rounds > maxRounds {
-					maxRounds = rounds
-				}
-			}
-			t.Rows = append(t.Rows, []string{
-				itoaI(l), variant, itoaI(runs), itoaI(decided), itoaI(safetyViolations), itoaI(maxRounds),
-			})
-		}
+	type combo struct {
+		l      int
+		ablate bool
 	}
+	combos := []combo{{n, false}, {n, true}, {2, false}, {2, true}}
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = int64(i)
+	}
+	t.Rows = sweep.Map(combos, func(_ int, c combo) []string {
+		variant := "full (with COORD)"
+		if c.ablate {
+			variant = "ablated (no COORD)"
+		}
+		type outcome struct {
+			ok     bool
+			rounds int
+			unsafe bool
+		}
+		outcomes := sweep.Map(seeds, func(_ int, seed int64) outcome {
+			ok, rounds, unsafe := runAblated(n, c.l, tt, c.ablate, roundCap, seed)
+			return outcome{ok, rounds, unsafe}
+		})
+		decided, safetyViolations, maxRounds := 0, 0, 0
+		for _, o := range outcomes {
+			if o.ok {
+				decided++
+			}
+			if o.unsafe {
+				safetyViolations++
+			}
+			if o.rounds > maxRounds {
+				maxRounds = o.rounds
+			}
+		}
+		return []string{
+			itoaI(c.l), variant, itoaI(runs), itoaI(decided), itoaI(safetyViolations), itoaI(maxRounds),
+		}
+	})
 	return t
 }
 
@@ -157,7 +173,7 @@ func E15LeaderGroupSize() Table {
 		},
 	}
 	n := 7
-	for c := 1; c <= 5; c++ {
+	t.Rows = sweep.Map([]int{1, 2, 3, 4, 5}, func(_ int, c int) []string {
 		// "aaa" sorts before "solo…", so the heavy group leads.
 		ids := make(ident.Assignment, n)
 		for i := range ids {
@@ -194,13 +210,12 @@ func E15LeaderGroupSize() Table {
 		}
 		rep, err := check.Consensus(truth, proposals, outcomes)
 		if err != nil {
-			t.Rows = append(t.Rows, []string{itoaI(n), itoaI(c), "✗ " + err.Error(), "-", "-", "-"})
-			continue
+			return []string{itoaI(n), itoaI(c), "✗ " + err.Error(), "-", "-", "-"}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(n), itoaI(c), itoaI(rep.MaxRound), itoa(rep.LastDecision),
 			itoaI(rec.Stats().ByTag["COORD"]), itoaI(rec.Stats().Broadcasts),
-		})
-	}
+		}
+	})
 	return t
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ident"
 	"repro/internal/multiset"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -37,7 +38,7 @@ func E16TimeoutAdaptation() Table {
 		{"adaptive (paper)", ohp.New, 12},
 	}
 	const horizon sim.Time = 4000
-	for _, v := range variants {
+	t.Rows = sweep.Map(variants, func(_ int, v variant) []string {
 		ids := ident.Balanced(4, 2)
 		n := ids.N()
 		eng := sim.New(sim.Config{IDs: ids, Net: sim.PartialSync{GST: 40, Delta: v.delta, PreLoss: 0.5}, Seed: 5})
@@ -73,8 +74,8 @@ func E16TimeoutAdaptation() Table {
 			}
 		}
 		finalTrusted := dets[0].Trusted().Len()
-		t.Rows = append(t.Rows, []string{v.name, itoa(v.delta), holds, itoaI(finalTrusted), itoaI(lateChanges), itoa(maxTO)})
-	}
+		return []string{v.name, itoa(v.delta), holds, itoaI(finalTrusted), itoaI(lateChanges), itoa(maxTO)}
+	})
 	return t
 }
 
@@ -96,25 +97,25 @@ func E17PhaseMessageBreakdown() Table {
 		algo    string
 		crashes map[sim.PID]sim.Time
 	}
-	for i, sc := range []scenario{
+	scenarios := []scenario{
 		{"fig8", nil},
 		{"fig8", map[sim.PID]sim.Time{1: 1, 4: 2}},
 		{"fig9", nil},
 		{"fig9", map[sim.PID]sim.Time{1: 1, 4: 2}},
 		{"fig9 (4 crashes)", map[sim.PID]sim.Time{0: 2, 1: 5, 2: 8, 3: 11}},
-	} {
+	}
+	t.Rows = sweep.Map(scenarios, func(i int, sc scenario) []string {
 		stats, err := runBreakdown(sc.algo, sc.crashes, int64(100+i))
 		if err != nil {
-			t.Rows = append(t.Rows, []string{sc.algo, itoaI(len(sc.crashes)), "✗ " + err.Error(), "-", "-", "-", "-", "-"})
-			continue
+			return []string{sc.algo, itoaI(len(sc.crashes)), "✗ " + err.Error(), "-", "-", "-", "-", "-"}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			sc.algo, itoaI(len(sc.crashes)),
 			itoaI(stats.ByTag["COORD"]), itoaI(stats.ByTag["PH0"]),
 			itoaI(stats.ByTag["PH1"]), itoaI(stats.ByTag["PH2"]),
 			itoaI(stats.ByTag["DECIDE"]), itoaI(stats.Broadcasts),
-		})
-	}
+		}
+	})
 	return t
 }
 

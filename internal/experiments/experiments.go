@@ -6,12 +6,16 @@
 // with n, the homonymy degree ℓ, GST, δ, and the crash pattern.
 //
 // All runs are seeded and deterministic: `go run ./cmd/experiments`
-// reproduces EXPERIMENTS.md verbatim.
+// reproduces EXPERIMENTS.md verbatim. Scenarios fan out across all cores
+// through the internal/sweep runner; by its determinism contract the
+// tables are byte-identical for every worker count (including -workers 1).
 package experiments
 
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/sweep"
 )
 
 // Table is one experiment's output.
@@ -40,27 +44,37 @@ func (t Table) Markdown() string {
 	return b.String()
 }
 
-// All runs every experiment and returns the tables in index order.
-func All() []Table {
-	return []Table{
-		E1SigmaToHSigmaKnown(),
-		E2SigmaToHSigmaUnknown(),
-		E3AliveList(),
-		E4HSigmaToSigma(),
-		E5RelationMatrix(),
-		E6DiamondHPbar(),
-		E7HOmegaExtraction(),
-		E8HSigmaSync(),
-		E9Fig8Consensus(),
-		E10Fig9Consensus(),
-		E11HomonymyExtremes(),
-		E12EndToEndHPS(),
-		E13APReductions(),
-		E14CoordinationAblation(),
-		E15LeaderGroupSize(),
-		E16TimeoutAdaptation(),
-		E17PhaseMessageBreakdown(),
+// Builders lists every experiment's table builder in index order.
+func Builders() []func() Table {
+	return []func() Table{
+		E1SigmaToHSigmaKnown,
+		E2SigmaToHSigmaUnknown,
+		E3AliveList,
+		E4HSigmaToSigma,
+		E5RelationMatrix,
+		E6DiamondHPbar,
+		E7HOmegaExtraction,
+		E8HSigmaSync,
+		E9Fig8Consensus,
+		E10Fig9Consensus,
+		E11HomonymyExtremes,
+		E12EndToEndHPS,
+		E13APReductions,
+		E14CoordinationAblation,
+		E15LeaderGroupSize,
+		E16TimeoutAdaptation,
+		E17PhaseMessageBreakdown,
 	}
+}
+
+// All runs every experiment and returns the tables in index order. The
+// builders execute on the sweep worker pool (each builder additionally
+// fans its scenarios out); by the sweep determinism contract the tables
+// are identical for every worker count.
+func All() []Table {
+	return sweep.Map(Builders(), func(_ int, build func() Table) Table {
+		return build()
+	})
 }
 
 func itoa(v int64) string { return fmt.Sprintf("%d", v) }

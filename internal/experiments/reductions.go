@@ -8,6 +8,7 @@ import (
 	"repro/internal/multiset"
 	"repro/internal/reduce"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"slices"
 )
@@ -89,7 +90,7 @@ func E1SigmaToHSigmaKnown() Table {
 		Header: []string{"n", "crashes", "HΣ verified", "stabilization (vt)", "broadcasts", "|h_labels| per proc"},
 		Notes:  []string{"Zero broadcasts: the Figure 1 transformation is communication-free; h_labels is the 2^(n−1) subsets of I(Π) containing id(p)."},
 	}
-	for _, n := range []int{3, 5, 7} {
+	t.Rows = sweep.Map([]int{3, 5, 7}, func(_ int, n int) []string {
 		ids := ident.Unique(n)
 		crashes := map[sim.PID]sim.Time{0: 40}
 		h := newRedHarness(ids, crashes, int64(n))
@@ -111,11 +112,11 @@ func E1SigmaToHSigmaKnown() Table {
 		if ls, ok := labels.Last(1); ok {
 			labelCount = len(ls)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(n), "1", status, itoa(res.StabilizationTime),
 			itoaI(h.rec.Stats().Broadcasts), itoaI(labelCount),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -129,7 +130,7 @@ func E2SigmaToHSigmaUnknown() Table {
 		Header: []string{"n", "crashes", "HΣ verified", "stabilization (vt)", "IDENT broadcasts"},
 		Notes:  []string{"IDENT traffic grows linearly in n per unit time — the price of membership discovery; stabilization tracks the oracle's Σ convergence."},
 	}
-	for _, n := range []int{3, 5, 7} {
+	t.Rows = sweep.Map([]int{3, 5, 7}, func(_ int, n int) []string {
 		ids := ident.Unique(n)
 		crashes := map[sim.PID]sim.Time{sim.PID(n - 1): 60}
 		h := newRedHarness(ids, crashes, int64(10+n))
@@ -147,11 +148,11 @@ func E2SigmaToHSigmaUnknown() Table {
 		if err != nil {
 			status = "✗ " + err.Error()
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(n), "1", status, itoa(res.StabilizationTime),
 			itoaI(h.rec.Stats().ByTag["IDENT"]),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -165,15 +166,17 @@ func E3AliveList() Table {
 		Header: []string{"n", "crashes", "last crash (vt)", "𝔈 verified", "prefix stable (vt)", "ALIVE broadcasts"},
 		Notes:  []string{"\"Prefix stable\" is when the *set* of identifiers occupying the first |Correct| positions stopped changing (the list keeps reordering within the prefix forever, which the class permits). It lands shortly after the last crash: crashed identifiers stop being refreshed and sink below every correct one."},
 	}
-	for _, cfg := range []struct {
+	type e3cfg struct {
 		n       int
 		crashes map[sim.PID]sim.Time
-	}{
+	}
+	cfgs := []e3cfg{
 		{4, nil},
 		{6, map[sim.PID]sim.Time{1: 100}},
 		{8, map[sim.PID]sim.Time{1: 100, 3: 200, 5: 300}},
 		{12, map[sim.PID]sim.Time{0: 50, 2: 100, 4: 150, 6: 200, 8: 250}},
-	} {
+	}
+	t.Rows = sweep.Map(cfgs, func(_ int, cfg e3cfg) []string {
 		ids := ident.Unique(cfg.n)
 		rec := &trace.Recorder{}
 		eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: int64(cfg.n), Recorder: rec})
@@ -220,11 +223,11 @@ func E3AliveList() Table {
 				prefixStable = ts
 			}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(cfg.n), itoaI(len(cfg.crashes)), itoa(truth.LastCrashTime()), status,
 			itoa(prefixStable), itoaI(rec.Stats().ByTag["ALIVE"]),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -250,7 +253,7 @@ func E4HSigmaToSigma() Table {
 		Header: []string{"n", "crashes", "Σ verified", "stabilization (vt)", "LABELS broadcasts", "ALIVE broadcasts"},
 		Notes:  []string{"The emulated Σ trusts I(Correct) once the 𝔈 ranking prefers the all-correct HΣ candidate; both gossip streams run at the poll rate."},
 	}
-	for _, n := range []int{3, 5, 7} {
+	t.Rows = sweep.Map([]int{3, 5, 7}, func(_ int, n int) []string {
 		ids := ident.Unique(n)
 		crashes := map[sim.PID]sim.Time{0: 50}
 		h := newRedHarness(ids, crashes, int64(20+n))
@@ -274,11 +277,11 @@ func E4HSigmaToSigma() Table {
 		if err != nil {
 			status = "✗ " + err.Error()
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(n), "1", status, itoa(res.StabilizationTime),
 			itoaI(h.rec.Stats().ByTag["LABELS"]), itoaI(h.rec.Stats().ByTag["ALIVE"]),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -299,7 +302,7 @@ func E5RelationMatrix() Table {
 		Header: []string{"from", "to", "paper source", "model", "verified", "stabilization (vt)"},
 		Notes:  []string{"Each arrow is an executable reduction; \"verified\" means the emulated detector passed every axiom of the target class on the recorded execution (4 seeds; worst stabilization shown)."},
 	}
-	for _, rel := range reduce.All() {
+	t.Rows = sweep.Map(reduce.All(), func(_ int, rel reduce.Relation) []string {
 		status := "✓"
 		var worst sim.Time
 		for seed := int64(1); seed <= 4; seed++ {
@@ -312,8 +315,8 @@ func E5RelationMatrix() Table {
 				worst = res.StabilizationTime
 			}
 		}
-		t.Rows = append(t.Rows, []string{rel.From, rel.To, rel.Source, rel.Model, status, itoa(worst)})
-	}
+		return []string{rel.From, rel.To, rel.Source, rel.Model, status, itoa(worst)}
+	})
 	return t
 }
 
@@ -327,11 +330,11 @@ func E13APReductions() Table {
 		Header: []string{"n", "crashes", "◇HP̄ verified", "◇HP̄ stab (vt)", "HΣ verified", "HΣ stab (vt)"},
 		Notes:  []string{"Both transformations are communication-free; stabilization is inherited from AP tightening to |Correct| after the last crash."},
 	}
-	for _, crashes := range []map[sim.PID]sim.Time{
+	t.Rows = sweep.Map([]map[sim.PID]sim.Time{
 		nil,
 		{1: 40},
 		{0: 30, 2: 60, 4: 90},
-	} {
+	}, func(_ int, crashes map[sim.PID]sim.Time) []string {
 		n := 6
 		ids := ident.AnonymousN(n)
 
@@ -374,9 +377,9 @@ func E13APReductions() Table {
 			s2 = "✗ " + err2.Error()
 		}
 
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(n), itoaI(len(crashes)), s1, itoa(res1.StabilizationTime), s2, itoa(res2.StabilizationTime),
-		})
-	}
+		}
+	})
 	return t
 }

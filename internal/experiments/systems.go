@@ -5,6 +5,7 @@ import (
 	"repro/internal/fd/oracle"
 	"repro/internal/ident"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
 
 // E6DiamondHPbar sweeps the Figure 6 detector over n, homonymy degree ℓ,
@@ -38,7 +39,7 @@ func E6DiamondHPbar() Table {
 		{6, 3, 50, 16, map[hds.PID]hds.Time{1: 30}, 9},
 		{9, 3, 50, 3, map[hds.PID]hds.Time{1: 30, 7: 60}, 10},
 	}
-	for _, c := range cfgs {
+	t.Rows = sweep.Map(cfgs, func(_ int, c cfg) []string {
 		res, err := hds.RunOHP(hds.OHPExperiment{
 			IDs:     ident.Balanced(c.n, c.l),
 			Crashes: c.crashes,
@@ -48,9 +49,8 @@ func E6DiamondHPbar() Table {
 			Horizon: 6000,
 		})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{itoaI(c.n), itoaI(c.l), itoa(c.gst), itoa(c.delta),
-				itoaI(len(c.crashes)), "✗ " + err.Error(), "-", "-"})
-			continue
+			return []string{itoaI(c.n), itoaI(c.l), itoa(c.gst), itoa(c.delta),
+				itoaI(len(c.crashes)), "✗ " + err.Error(), "-", "-"}
 		}
 		var maxTO hds.Time
 		for _, to := range res.FinalTimeouts {
@@ -59,11 +59,11 @@ func E6DiamondHPbar() Table {
 			}
 		}
 		traffic := res.Stats.ByTag["POLLING"] + res.Stats.ByTag["P_REPLY"]
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(c.n), itoaI(c.l), itoa(c.gst), itoa(c.delta), itoaI(len(c.crashes)),
 			itoa(res.TrustedStabilization), itoaI(traffic), itoa(maxTO),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -78,15 +78,17 @@ func E7HOmegaExtraction() Table {
 		Header: []string{"n", "ℓ", "crashes", "◇HP̄ stab (vt)", "HΩ stab (vt)", "elected (id, mult)"},
 		Notes:  []string{"The HΩ output is min(h_trusted) with its multiplicity; it never stabilizes later than h_trusted and needs no messages beyond Figure 6's."},
 	}
-	for i, c := range []struct {
+	type cfg struct {
 		n, l    int
 		crashes map[hds.PID]hds.Time
-	}{
+	}
+	cfgs := []cfg{
 		{5, 2, nil},
 		{5, 2, map[hds.PID]hds.Time{0: 40}},
 		{6, 3, map[hds.PID]hds.Time{0: 40, 3: 80}},
 		{8, 4, map[hds.PID]hds.Time{0: 40, 1: 60, 2: 80}},
-	} {
+	}
+	t.Rows = sweep.Map(cfgs, func(i int, c cfg) []string {
 		res, err := hds.RunOHP(hds.OHPExperiment{
 			IDs:     ident.Balanced(c.n, c.l),
 			Crashes: c.crashes,
@@ -95,15 +97,14 @@ func E7HOmegaExtraction() Table {
 			Horizon: 6000,
 		})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{itoaI(c.n), itoaI(c.l), itoaI(len(c.crashes)), "✗ " + err.Error(), "-", "-"})
-			continue
+			return []string{itoaI(c.n), itoaI(c.l), itoaI(len(c.crashes)), "✗ " + err.Error(), "-", "-"}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(c.n), itoaI(c.l), itoaI(len(c.crashes)),
 			itoa(res.TrustedStabilization), itoa(res.LeaderStabilization),
 			res.Leader.String(),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -118,17 +119,19 @@ func E8HSigmaSync() Table {
 		Header: []string{"n", "ℓ", "crash steps", "mid-broadcast?", "HΣ verified", "stab (step)", "final |h_quora| (max)"},
 		Notes:  []string{"Stabilization is within one step of the last crash (Theorem 6's liveness argument); partial-broadcast crashes create divergent per-process snapshots — more quora — while safety holds across all of them."},
 	}
-	for i, c := range []struct {
+	type cfg struct {
 		n, l    int
 		crashes map[hds.PID]hds.CrashStep
 		partial string
-	}{
+	}
+	cfgs := []cfg{
 		{5, 2, nil, "-"},
 		{6, 3, map[hds.PID]hds.CrashStep{1: {Step: 3, DeliverProb: 1}}, "no"},
 		{6, 3, map[hds.PID]hds.CrashStep{1: {Step: 3, DeliverProb: 0.5}}, "yes"},
 		{8, 2, map[hds.PID]hds.CrashStep{1: {Step: 2, DeliverProb: 0.4}, 5: {Step: 4, DeliverProb: 0.6}}, "yes"},
 		{8, 8, map[hds.PID]hds.CrashStep{0: {Step: 2, DeliverProb: 0.4}, 7: {Step: 5, DeliverProb: 0.5}}, "yes"},
-	} {
+	}
+	t.Rows = sweep.Map(cfgs, func(i int, c cfg) []string {
 		res, err := hds.RunHSigma(hds.HSigmaExperiment{
 			IDs:        ident.Balanced(c.n, c.l),
 			CrashSteps: c.crashes,
@@ -145,11 +148,11 @@ func E8HSigmaSync() Table {
 				maxQ = q
 			}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(c.n), itoaI(c.l), itoaI(len(c.crashes)), c.partial, status,
 			itoa(res.StabilizationStep), itoaI(maxQ),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -183,7 +186,7 @@ func E9Fig8Consensus() Table {
 		{9, 3, 4, map[hds.PID]hds.Time{0: 20, 2: 40, 4: 60, 6: 80}, 150, oracle.AdversarySplit, "split", 7},
 		{9, 3, 4, nil, 300, oracle.AdversaryRotate, "rotate", 8},
 	}
-	for _, c := range cfgs {
+	t.Rows = sweep.Map(cfgs, func(_ int, c cfg) []string {
 		rep, stats, err := hds.RunFig8(hds.Fig8Experiment{
 			IDs:       ident.Balanced(c.n, c.l),
 			T:         c.tt,
@@ -193,15 +196,14 @@ func E9Fig8Consensus() Table {
 			Seed:      c.seed,
 		})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{itoaI(c.n), itoaI(c.l), itoaI(c.tt), itoaI(len(c.crashes)),
-				itoa(c.stab), c.advName, "✗ " + err.Error(), "-", "-"})
-			continue
+			return []string{itoaI(c.n), itoaI(c.l), itoaI(c.tt), itoaI(len(c.crashes)),
+				itoa(c.stab), c.advName, "✗ " + err.Error(), "-", "-"}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(c.n), itoaI(c.l), itoaI(c.tt), itoaI(len(c.crashes)), itoa(c.stab), c.advName,
 			itoaI(rep.MaxRound), itoa(rep.LastDecision), itoaI(stats.Broadcasts),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -218,7 +220,11 @@ func E10Fig9Consensus() Table {
 		},
 	}
 	n := 6
-	for k := 0; k <= n-1; k++ {
+	ks := make([]int, n)
+	for k := range ks {
+		ks[k] = k
+	}
+	t.Rows = sweep.Map(ks, func(_ int, k int) []string {
 		crashes := make(map[hds.PID]hds.Time, k)
 		for i := 0; i < k; i++ {
 			crashes[hds.PID(i)] = hds.Time(20 + 15*i)
@@ -231,14 +237,13 @@ func E10Fig9Consensus() Table {
 			Seed:      int64(60 + k),
 		})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{itoaI(n), "3", itoaI(k), itoaI(n - k), "140", "✗ " + err.Error(), "-", "-"})
-			continue
+			return []string{itoaI(n), "3", itoaI(k), itoaI(n - k), "140", "✗ " + err.Error(), "-", "-"}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			itoaI(n), "3", itoaI(k), itoaI(n - k), "140",
 			itoaI(rep.MaxRound), itoa(rep.LastDecision), itoaI(stats.Broadcasts),
-		})
-	}
+		}
+	})
 	return t
 }
 
@@ -257,43 +262,50 @@ func E11HomonymyExtremes() Table {
 	}
 	n := 6
 	crashes := map[hds.PID]hds.Time{1: 40}
-	add := func(variant string, l int, algo string, rep hds.Report, stats hds.Stats, err error) {
-		if err != nil {
-			t.Rows = append(t.Rows, []string{variant, itoaI(l), algo, "✗ " + err.Error(), "-", "-", "-"})
-			return
-		}
-		t.Rows = append(t.Rows, []string{
-			variant, itoaI(l), algo, itoaI(rep.MaxRound), itoa(rep.LastDecision),
-			itoaI(stats.Broadcasts), itoaI(stats.ByTag["COORD"]),
-		})
+	type variant struct {
+		name string
+		l    int
+		algo string
+		run  func() (hds.Report, hds.Stats, error)
 	}
-
-	rep, stats, err := hds.RunFig8(hds.Fig8Experiment{
-		IDs: ident.Unique(n), T: 2, Crashes: crashes, Stabilize: 80, Seed: 71,
+	variants := []variant{
+		{"unique (classical)", n, "Fig 8 (HΩ)", func() (hds.Report, hds.Stats, error) {
+			return hds.RunFig8(hds.Fig8Experiment{
+				IDs: ident.Unique(n), T: 2, Crashes: crashes, Stabilize: 80, Seed: 71,
+			})
+		}},
+		{"homonymous", 2, "Fig 8 (HΩ)", func() (hds.Report, hds.Stats, error) {
+			return hds.RunFig8(hds.Fig8Experiment{
+				IDs: ident.Balanced(n, 2), T: 2, Crashes: crashes, Stabilize: 80, Seed: 72,
+			})
+		}},
+		{"anonymous", 1, "Fig 8 (HΩ)", func() (hds.Report, hds.Stats, error) {
+			return hds.RunFig8(hds.Fig8Experiment{
+				IDs: ident.AnonymousN(n), T: 2, Crashes: crashes, Stabilize: 80, Seed: 73,
+			})
+		}},
+		{"anonymous", 1, "Fig 9 (HΩ+HΣ)", func() (hds.Report, hds.Stats, error) {
+			return hds.RunFig9(hds.Fig9Experiment{
+				IDs: ident.AnonymousN(n), Crashes: crashes, Stabilize: 80, Seed: 74,
+			})
+		}},
+		{"anonymous baseline", 1, "Fig 9 (AΩ, no COORD)", func() (hds.Report, hds.Stats, error) {
+			return hds.RunFig9(hds.Fig9Experiment{
+				IDs: ident.AnonymousN(n), Crashes: crashes, Stabilize: 80, Seed: 75,
+				AnonymousBaseline: true,
+			})
+		}},
+	}
+	t.Rows = sweep.Map(variants, func(_ int, v variant) []string {
+		rep, stats, err := v.run()
+		if err != nil {
+			return []string{v.name, itoaI(v.l), v.algo, "✗ " + err.Error(), "-", "-", "-"}
+		}
+		return []string{
+			v.name, itoaI(v.l), v.algo, itoaI(rep.MaxRound), itoa(rep.LastDecision),
+			itoaI(stats.Broadcasts), itoaI(stats.ByTag["COORD"]),
+		}
 	})
-	add("unique (classical)", n, "Fig 8 (HΩ)", rep, stats, err)
-
-	rep, stats, err = hds.RunFig8(hds.Fig8Experiment{
-		IDs: ident.Balanced(n, 2), T: 2, Crashes: crashes, Stabilize: 80, Seed: 72,
-	})
-	add("homonymous", 2, "Fig 8 (HΩ)", rep, stats, err)
-
-	rep, stats, err = hds.RunFig8(hds.Fig8Experiment{
-		IDs: ident.AnonymousN(n), T: 2, Crashes: crashes, Stabilize: 80, Seed: 73,
-	})
-	add("anonymous", 1, "Fig 8 (HΩ)", rep, stats, err)
-
-	rep, stats, err = hds.RunFig9(hds.Fig9Experiment{
-		IDs: ident.AnonymousN(n), Crashes: crashes, Stabilize: 80, Seed: 74,
-	})
-	add("anonymous", 1, "Fig 9 (HΩ+HΣ)", rep, stats, err)
-
-	rep, stats, err = hds.RunFig9(hds.Fig9Experiment{
-		IDs: ident.AnonymousN(n), Crashes: crashes, Stabilize: 80, Seed: 75,
-		AnonymousBaseline: true,
-	})
-	add("anonymous baseline", 1, "Fig 9 (AΩ, no COORD)", rep, stats, err)
-
 	return t
 }
 
@@ -309,7 +321,7 @@ func E12EndToEndHPS() Table {
 			"The paper's headline composition: consensus with partially synchronous processes, eventually timely (reliable) links, a correct majority and no initial membership knowledge. Decision time tracks GST — before it, harsh pre-GST delays stall both the detector's convergence and the consensus quorums.",
 		},
 	}
-	for i, gst := range []hds.Time{0, 100, 300, 600} {
+	t.Rows = sweep.Map([]hds.Time{0, 100, 300, 600}, func(i int, gst hds.Time) []string {
 		rep, stats, err := hds.RunFig8(hds.Fig8Experiment{
 			IDs:       ident.Balanced(5, 2),
 			T:         2,
@@ -320,13 +332,12 @@ func E12EndToEndHPS() Table {
 			Horizon:   3_000_000,
 		})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{"5", "2", itoa(gst), "3", "1", "✗ " + err.Error(), "-", "-"})
-			continue
+			return []string{"5", "2", itoa(gst), "3", "1", "✗ " + err.Error(), "-", "-"}
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			"5", "2", itoa(gst), "3", "1",
 			itoaI(rep.MaxRound), itoa(rep.LastDecision), itoaI(stats.Broadcasts),
-		})
-	}
+		}
+	})
 	return t
 }

@@ -139,7 +139,7 @@ func CheckAliveList(g *GroundTruth, pr *Probe[[]ident.ID]) (Result, error) {
 func CheckAP(g *GroundTruth, pr *Probe[int]) (Result, error) {
 	for p := 0; p < pr.N(); p++ {
 		for _, s := range pr.History(sim.PID(p)) {
-			if alive := len(g.AliveAt(s.Time)); s.Value < alive {
+			if alive := g.AliveCountAt(s.Time); s.Value < alive {
 				return Result{}, fmt.Errorf("AP safety: process %d output %d at t=%d with %d processes alive", p, s.Value, s.Time, alive)
 			}
 		}

@@ -162,6 +162,18 @@ func LabelsEqual(a, b []Label) bool {
 	if len(a) != len(b) {
 		return false
 	}
+	// Fast path: detectors almost always report labels in a stable order,
+	// so an elementwise scan usually decides without the sorted copies.
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return true
+	}
 	as, bs := SortLabels(a), SortLabels(b)
 	for i := range as {
 		if as[i] != bs[i] {

@@ -64,6 +64,11 @@ type Detector struct {
 	trusted *multiset.Multiset[ident.ID]
 	hasOut  bool
 
+	// leaderFor/leader memoize the HΩ extraction for the current trusted
+	// value (see Leader).
+	leaderFor *multiset.Multiset[ident.ID]
+	leader    fd.LeaderInfo
+
 	mship   map[ident.ID]bool
 	latestR map[ident.ID]int
 
@@ -118,7 +123,10 @@ func (d *Detector) Init(env sim.Environment) {
 }
 
 // OnTimer implements sim.Process: close the current round (gather
-// h_trusted), then open the next one.
+// h_trusted), then open the next one. When the gathered multiset equals
+// the previous output the old value is kept, so h_trusted is
+// pointer-stable across unchanged rounds and probes can compare samples
+// with a pointer check.
 func (d *Detector) OnTimer(int) {
 	tmp := multiset.New[ident.ID]()
 	for _, rep := range d.pending {
@@ -126,7 +134,9 @@ func (d *Detector) OnTimer(int) {
 			tmp.Add(rep.Sender)
 		}
 	}
-	d.trusted = tmp
+	if !tmp.Equal(d.trusted) {
+		d.trusted = tmp
+	}
 	d.hasOut = true
 	d.round++
 
@@ -188,18 +198,32 @@ func (d *Detector) Trusted() *multiset.Multiset[ident.ID] {
 	return d.trusted.Clone()
 }
 
+// TrustedView returns the live h_trustedₚ multiset without copying. It is
+// replaced wholesale (never mutated in place) when the output changes, so
+// view probes may retain it as an immutable snapshot; callers must not
+// mutate it.
+func (d *Detector) TrustedView() *multiset.Multiset[ident.ID] {
+	return d.trusted
+}
+
 // Leader implements fd.HOmega via Corollary 2: the smallest identifier of
 // h_trustedₚ with its multiplicity. ok is false until the first round
-// closed or while h_trustedₚ is empty.
+// closed or while h_trustedₚ is empty. The election is memoized per
+// h_trusted value, which OnTimer keeps pointer-stable across unchanged
+// rounds.
 func (d *Detector) Leader() (fd.LeaderInfo, bool) {
 	if !d.hasOut {
 		return fd.LeaderInfo{}, false
 	}
-	id, ok := d.trusted.Min()
-	if !ok {
-		return fd.LeaderInfo{}, false
+	if d.leaderFor != d.trusted {
+		id, ok := d.trusted.Min()
+		if !ok {
+			return fd.LeaderInfo{}, false
+		}
+		d.leaderFor = d.trusted
+		d.leader = fd.LeaderInfo{ID: id, Multiplicity: d.trusted.Count(id)}
 	}
-	return fd.LeaderInfo{ID: id, Multiplicity: d.trusted.Count(id)}, true
+	return d.leader, true
 }
 
 // Round returns the current round number (experiments observability).

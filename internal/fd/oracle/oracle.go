@@ -24,14 +24,35 @@ import (
 // World is the shared ground truth oracles consult. Stabilize is the
 // virtual time from which outputs are stable and truthful; before it,
 // behaviour depends on the oracle's adversary mode.
+//
+// The ground truth never changes during a run, so the World precomputes
+// every constant output (quorum pairs, label sets, I(Π)) once: oracle
+// queries on the hot sampling path are allocation-free. All returned
+// slices and multisets are shared and must be treated as read-only.
 type World struct {
 	Truth     *fd.GroundTruth
 	Stabilize sim.Time
+
+	allIDs       *multiset.Multiset[ident.ID]
+	quoraAll     []fd.QuorumPair
+	quoraStable  []fd.QuorumPair
+	labelsAll    []fd.Label
+	labelsStable []fd.Label
+	asigmaAll    []fd.APair
+	asigmaStable []fd.APair
 }
 
 // NewWorld builds a World.
 func NewWorld(truth *fd.GroundTruth, stabilize sim.Time) *World {
-	return &World{Truth: truth, Stabilize: stabilize}
+	w := &World{Truth: truth, Stabilize: stabilize}
+	w.allIDs = truth.IDs.I()
+	w.quoraAll = []fd.QuorumPair{{Label: "all", M: w.allIDs}}
+	w.quoraStable = append(w.quoraAll[:1:1], fd.QuorumPair{Label: "corr", M: truth.CorrectIDs()})
+	w.labelsAll = []fd.Label{"all"}
+	w.labelsStable = append(w.labelsAll[:1:1], "corr")
+	w.asigmaAll = []fd.APair{{Label: "all", Y: truth.IDs.N()}}
+	w.asigmaStable = append(w.asigmaAll[:1:1], fd.APair{Label: "corr", Y: len(truth.Correct())})
+	return w
 }
 
 func (w *World) stable(now sim.Time) bool { return now >= w.Stabilize }
@@ -100,8 +121,10 @@ func (o *HOmega) Leader() (fd.LeaderInfo, bool) {
 // DiamondHPbar is a ◇HP̄-class oracle: it trusts I(alive(now)) before
 // stabilization (a natural over-approximation) and I(Correct) afterwards.
 type DiamondHPbar struct {
-	w   *World
-	env sim.Environment
+	w     *World
+	env   sim.Environment
+	pre   *multiset.Multiset[ident.ID] // memoized pre-stabilization output
+	preAt sim.Time
 }
 
 var _ fd.DiamondHPbar = (*DiamondHPbar)(nil)
@@ -118,17 +141,22 @@ func (o *DiamondHPbar) OnMessage(any) {}
 // OnTimer implements sim.Process.
 func (o *DiamondHPbar) OnTimer(int) {}
 
-// Trusted implements fd.DiamondHPbar.
+// Trusted implements fd.DiamondHPbar. The returned multiset is a shared
+// snapshot and must not be mutated; the pre-stabilization value is memoized
+// per instant, so repeated samples at one virtual time are allocation-free.
 func (o *DiamondHPbar) Trusted() *multiset.Multiset[ident.ID] {
 	now := o.env.Now()
 	if o.w.stable(now) {
 		return o.w.Truth.CorrectIDs()
 	}
-	m := multiset.New[ident.ID]()
-	for _, p := range o.w.Truth.AliveAt(now) {
-		m.Add(o.w.Truth.IDs[p])
+	if o.pre == nil || o.preAt != now {
+		m := multiset.New[ident.ID]()
+		for _, p := range o.w.Truth.AliveAt(now) {
+			m.Add(o.w.Truth.IDs[p])
+		}
+		o.pre, o.preAt = m, now
 	}
-	return m
+	return o.pre
 }
 
 // AP is an AP-class oracle: the current number of alive processes (always
@@ -158,7 +186,7 @@ func (o *AP) OnTimer(int) {}
 // AliveCount implements fd.AP.
 func (o *AP) AliveCount() int {
 	now := o.env.Now()
-	alive := len(o.w.Truth.AliveAt(now))
+	alive := o.w.Truth.AliveCountAt(now)
 	if !o.w.stable(now) {
 		return alive + o.Slack
 	}
@@ -188,12 +216,13 @@ func (o *Sigma) OnMessage(any) {}
 // OnTimer implements sim.Process.
 func (o *Sigma) OnTimer(int) {}
 
-// TrustedQuorum implements fd.Sigma.
+// TrustedQuorum implements fd.Sigma. The returned multiset is shared and
+// must not be mutated.
 func (o *Sigma) TrustedQuorum() *multiset.Multiset[ident.ID] {
 	if o.w.stable(o.env.Now()) {
 		return o.w.Truth.CorrectIDs()
 	}
-	return o.w.Truth.IDs.I()
+	return o.w.allIDs
 }
 
 // ASigma is an AΣ-class oracle. It emits ("all", n) always and, once
@@ -219,13 +248,13 @@ func (o *ASigma) OnMessage(any) {}
 // OnTimer implements sim.Process.
 func (o *ASigma) OnTimer(int) {}
 
-// ASigma implements fd.ASigma.
+// ASigma implements fd.ASigma. The returned slice is shared and must not
+// be mutated.
 func (o *ASigma) ASigma() []fd.APair {
-	pairs := []fd.APair{{Label: "all", Y: o.w.Truth.IDs.N()}}
 	if o.w.stable(o.env.Now()) {
-		pairs = append(pairs, fd.APair{Label: "corr", Y: len(o.w.Truth.Correct())})
+		return o.w.asigmaStable
 	}
-	return pairs
+	return o.w.asigmaAll
 }
 
 // HSigma is an HΣ-class oracle: label "all" ↦ I(Π) always, and once stable
@@ -249,24 +278,23 @@ func (o *HSigma) OnMessage(any) {}
 // OnTimer implements sim.Process.
 func (o *HSigma) OnTimer(int) {}
 
-// Quora implements fd.HSigma.
+// Quora implements fd.HSigma. The returned slice and its multisets are
+// shared and must not be mutated.
 func (o *HSigma) Quora() []fd.QuorumPair {
-	pairs := []fd.QuorumPair{{Label: "all", M: o.w.Truth.IDs.I()}}
 	if o.w.stable(o.env.Now()) {
-		pairs = append(pairs, fd.QuorumPair{Label: "corr", M: o.w.Truth.CorrectIDs()})
+		return o.w.quoraStable
 	}
-	return pairs
+	return o.w.quoraAll
 }
 
 // Labels implements fd.HSigma. Every process participates in "all"; the
 // correct ones (and crashed ones too — membership of S(x) may include
 // faulty processes) participate in "corr" once stable.
 func (o *HSigma) Labels() []fd.Label {
-	ls := []fd.Label{"all"}
 	if o.w.stable(o.env.Now()) && o.w.Truth.IsCorrect(o.env.PID()) {
-		ls = append(ls, "corr")
+		return o.w.labelsStable
 	}
-	return ls
+	return o.w.labelsAll
 }
 
 // AOmega is an AΩ-class oracle: after stabilization exactly the lowest-

@@ -10,9 +10,18 @@ import (
 // available to checkers and oracles but never to algorithms. CrashTimes
 // holds the virtual time of each crash that occurred; processes absent
 // from it are correct.
+//
+// The fault pattern is fixed for the whole execution, so the derived views
+// (Correct, CorrectIDs, ExpectedLeader) are computed once and shared:
+// callers must treat the returned slices and multisets as read-only.
 type GroundTruth struct {
 	IDs        ident.Assignment
 	CrashTimes map[sim.PID]sim.Time
+
+	correct    []sim.PID
+	correctIDs *multiset.Multiset[ident.ID]
+	leader     LeaderInfo
+	leaderOK   bool
 }
 
 // NewGroundTruth builds a ground truth for the assignment with the given
@@ -22,18 +31,39 @@ func NewGroundTruth(ids ident.Assignment, crashTimes map[sim.PID]sim.Time) *Grou
 	for p, t := range crashTimes {
 		ct[p] = t
 	}
-	return &GroundTruth{IDs: ids, CrashTimes: ct}
+	g := &GroundTruth{IDs: ids, CrashTimes: ct}
+	g.derive()
+	return g
 }
 
-// Correct returns the indexes of correct processes.
-func (g *GroundTruth) Correct() []sim.PID {
-	var out []sim.PID
+// derive precomputes the execution-constant views; it runs once from
+// NewGroundTruth, the only constructor.
+func (g *GroundTruth) derive() {
+	g.correct = g.correct[:0]
 	for p := 0; p < g.IDs.N(); p++ {
 		if _, crashed := g.CrashTimes[sim.PID(p)]; !crashed {
-			out = append(out, sim.PID(p))
+			g.correct = append(g.correct, sim.PID(p))
 		}
 	}
-	return out
+	m := multiset.New[ident.ID]()
+	for _, p := range g.correct {
+		m.Add(g.IDs[p])
+	}
+	g.correctIDs = m
+	if id, ok := m.Min(); ok {
+		g.leader, g.leaderOK = LeaderInfo{ID: id, Multiplicity: m.Count(id)}, true
+	} else {
+		g.leader, g.leaderOK = LeaderInfo{}, false
+	}
+}
+
+// Correct returns the indexes of correct processes. The slice is shared;
+// callers must not mutate it.
+func (g *GroundTruth) Correct() []sim.PID {
+	if len(g.correct) == 0 {
+		return nil
+	}
+	return g.correct
 }
 
 // IsCorrect reports whether p never crashes in this execution.
@@ -56,13 +86,21 @@ func (g *GroundTruth) AliveAt(t sim.Time) []sim.PID {
 	return out
 }
 
-// CorrectIDs returns I(Correct) as a multiset.
-func (g *GroundTruth) CorrectIDs() *multiset.Multiset[ident.ID] {
-	m := multiset.New[ident.ID]()
-	for _, p := range g.Correct() {
-		m.Add(g.IDs[p])
+// AliveCountAt returns |AliveAt(t)| without building the slice.
+func (g *GroundTruth) AliveCountAt(t sim.Time) int {
+	n := g.IDs.N()
+	for _, ct := range g.CrashTimes {
+		if ct <= t {
+			n--
+		}
 	}
-	return m
+	return n
+}
+
+// CorrectIDs returns I(Correct) as a multiset. The multiset is shared;
+// callers must not mutate it.
+func (g *GroundTruth) CorrectIDs() *multiset.Multiset[ident.ID] {
+	return g.correctIDs
 }
 
 // LastCrashTime returns the time of the last crash (0 if none).
@@ -81,10 +119,5 @@ func (g *GroundTruth) LastCrashTime() sim.Time {
 // with its multiplicity in I(Correct). ok is false when no process is
 // correct.
 func (g *GroundTruth) ExpectedLeader() (LeaderInfo, bool) {
-	ids := g.CorrectIDs()
-	leader, ok := ids.Min()
-	if !ok {
-		return LeaderInfo{}, false
-	}
-	return LeaderInfo{ID: leader, Multiplicity: ids.Count(leader)}, true
+	return g.leader, g.leaderOK
 }

@@ -143,6 +143,9 @@ func (m *Multiset[T]) Clone() *Multiset[T] {
 
 // Equal reports whether m and o contain exactly the same instances.
 func (m *Multiset[T]) Equal(o *Multiset[T]) bool {
+	if m == o {
+		return true
+	}
 	if m.size != o.size || len(m.counts) != len(o.counts) {
 		return false
 	}

@@ -1,9 +1,11 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"reflect"
+	"strconv"
+	"sync"
 
 	"repro/internal/ident"
 	"repro/internal/trace"
@@ -21,7 +23,9 @@ type Config struct {
 	// model HAS[t<n/2, HΩ] sets it; the paper's other algorithms run with
 	// unknown membership.
 	KnownN bool
-	// Recorder, when non-nil, receives trace events.
+	// Recorder, when non-nil, receives trace events. With a nil Recorder the
+	// engine constructs no trace data at all: the hot path neither formats
+	// details nor computes message tags.
 	Recorder *trace.Recorder
 	// MaxEvents caps the number of processed events as a runaway guard.
 	// Defaults to 5,000,000.
@@ -36,6 +40,8 @@ const (
 	evCrash
 )
 
+// event is stored by value in the queue; scheduling one costs no heap
+// allocation beyond the queue slice's amortized growth.
 type event struct {
 	time    Time
 	seq     uint64 // tie-break: FIFO among simultaneous events
@@ -45,44 +51,84 @@ type event struct {
 	tag     int // evTimer
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
+// before is the total queue order: (time, seq) lexicographically. seq is
+// unique per engine, so the order is strict and runs are deterministic
+// regardless of the heap's internal layout.
+func (a *event) before(b *event) bool {
+	return a.time < b.time || (a.time == b.time && a.seq < b.seq)
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// eventQueue is a 4-ary min-heap of events by value. A wider fan-out trades
+// a few extra comparisons per level for half the depth (and half the moves)
+// of a binary heap, which wins on the deliver-heavy workloads here; keeping
+// values instead of pointers removes the per-event allocation and the
+// pointer chasing of container/heap.
+type eventQueue []event
+
+func (q eventQueue) up(i int) {
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !ev.before(&q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+}
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	ev := q[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].before(&q[best]) {
+				best = c
+			}
+		}
+		if !q[best].before(&ev) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = ev
 }
 
 // Engine runs one execution. Create it with New, attach processes with
 // AddProcess, optionally schedule crashes, then Run. Engines are not safe
 // for concurrent use; all determinism comes from the single event queue.
+// Distinct engines share nothing mutable, so independent engines may run
+// concurrently (see the sweep package).
 type Engine struct {
 	cfg     Config
 	ids     ident.Assignment
 	rng     *rand.Rand
+	rec     *trace.Recorder
 	queue   eventQueue
 	seq     uint64
 	now     Time
 	procs   []Process
 	envs    []*Env
 	crashed []bool
-	// crashDuringBroadcast[p], when set, makes p's next broadcast at or
-	// after the stored time partial: each copy is delivered independently
-	// with the stored probability, then p crashes.
+	// pendingCrash[p] counts evCrash events for p still in the queue, so
+	// CorrectSet is O(n) instead of rescanning the queue per call.
+	pendingCrash []int
+	// partialCrash[p], when set, makes p's next broadcast at or after the
+	// stored time partial: each copy is delivered independently with the
+	// stored probability, then p crashes.
 	partialCrash []*partialCrash
-	afterEvent   []func(now Time)
+	afterEvent   []func(now Time, p PID)
 	processed    int
 	started      bool
 }
@@ -109,7 +155,9 @@ func New(cfg Config) *Engine {
 		cfg:          cfg,
 		ids:          cfg.IDs,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		rec:          cfg.Recorder,
 		crashed:      make([]bool, n),
+		pendingCrash: make([]int, n),
 		partialCrash: make([]*partialCrash, n),
 	}
 }
@@ -143,7 +191,8 @@ func (e *Engine) Now() Time { return e.now }
 // CrashAt schedules process p to crash at time t: from then on it takes no
 // steps, receives nothing, and its broadcasts are ignored.
 func (e *Engine) CrashAt(p PID, t Time) {
-	e.push(&event{time: t, kind: evCrash, pid: p})
+	e.pendingCrash[p]++
+	e.push(event{time: t, kind: evCrash, pid: p})
 }
 
 // CrashDuringBroadcast makes process p crash during its first broadcast at
@@ -159,17 +208,12 @@ func (e *Engine) Crashed(p PID) bool { return e.crashed[p] }
 
 // CorrectSet returns the indexes of processes with no crash scheduled or
 // executed — the ground truth Correct set, assuming all scheduled crashes
-// eventually fire. Checkers use it; algorithms cannot.
+// eventually fire. Checkers use it; algorithms cannot. Pending crashes are
+// tracked incrementally, so the call is O(n) regardless of queue depth.
 func (e *Engine) CorrectSet() []PID {
-	pending := make([]bool, e.ids.N())
-	for _, ev := range e.queue {
-		if ev.kind == evCrash {
-			pending[ev.pid] = true
-		}
-	}
 	var out []PID
 	for p := range e.crashed {
-		if !e.crashed[p] && !pending[p] && e.partialCrash[p] == nil {
+		if !e.crashed[p] && e.pendingCrash[p] == 0 && e.partialCrash[p] == nil {
 			out = append(out, PID(p))
 		}
 	}
@@ -187,9 +231,12 @@ func (e *Engine) CorrectIDs() []ident.ID {
 }
 
 // AfterEvent registers an observer invoked after every processed event,
-// with the then-current virtual time. Property checkers use it to sample
-// failure-detector outputs exactly when they can change.
-func (e *Engine) AfterEvent(f func(now Time)) {
+// with the then-current virtual time and the process the event concerned
+// (p = -1 for the initial time-0 notification, where every process just
+// ran Init). Property checkers use it to sample failure-detector outputs
+// exactly when they can change: a process's output may change only during
+// its own events or when virtual time advances.
+func (e *Engine) AfterEvent(f func(now Time, p PID)) {
 	e.afterEvent = append(e.afterEvent, f)
 }
 
@@ -235,40 +282,51 @@ func (e *Engine) start() {
 			proc.Init(e.envs[p])
 		}
 	}
-	e.notifyAfter()
+	e.notifyAfter(-1)
 }
 
-// step processes the single earliest event.
+// step processes the single earliest event. All trace construction sits
+// behind the nil-recorder check: with tracing off, processing an event
+// formats nothing and computes no tags.
 func (e *Engine) step() {
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.pop()
 	e.now = ev.time
 	e.processed++
 	switch ev.kind {
 	case evCrash:
+		e.pendingCrash[ev.pid]--
 		if !e.crashed[ev.pid] {
 			e.crashed[ev.pid] = true
-			e.record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(ev.pid)})
+			if e.rec != nil {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(ev.pid)})
+			}
 		}
 	case evDeliver:
 		if e.crashed[ev.pid] {
-			e.record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: int(ev.pid), MsgTag: tagOf(ev.payload), Detail: "recipient crashed"})
+			if e.rec != nil {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: int(ev.pid), MsgTag: tagOf(ev.payload), Detail: "recipient crashed"})
+			}
 			break
 		}
-		e.record(trace.Event{Time: e.now, Kind: trace.KindDeliver, PID: int(ev.pid), MsgTag: tagOf(ev.payload)})
+		if e.rec != nil {
+			e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDeliver, PID: int(ev.pid), MsgTag: tagOf(ev.payload)})
+		}
 		e.procs[ev.pid].OnMessage(ev.payload)
 	case evTimer:
 		if e.crashed[ev.pid] {
 			break
 		}
-		e.record(trace.Event{Time: e.now, Kind: trace.KindTimer, PID: int(ev.pid), Detail: fmt.Sprintf("tag=%d", ev.tag)})
+		if e.rec != nil {
+			e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindTimer, PID: int(ev.pid), Detail: "tag=" + strconv.Itoa(ev.tag)})
+		}
 		e.procs[ev.pid].OnTimer(ev.tag)
 	}
-	e.notifyAfter()
+	e.notifyAfter(ev.pid)
 }
 
-func (e *Engine) notifyAfter() {
+func (e *Engine) notifyAfter(p PID) {
 	for _, f := range e.afterEvent {
-		f(e.now)
+		f(e.now, p)
 	}
 }
 
@@ -278,26 +336,36 @@ func (e *Engine) broadcast(from PID, payload any) {
 	}
 	pc := e.partialCrash[from]
 	partial := pc != nil && e.now >= pc.after
-	e.record(trace.Event{Time: e.now, Kind: trace.KindBroadcast, PID: int(from), MsgTag: tagOf(payload)})
+	var tag string
+	if e.rec != nil {
+		tag = tagOf(payload)
+		e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindBroadcast, PID: int(from), MsgTag: tag})
+	}
 	for to := range e.procs {
 		if partial && e.rng.Float64() >= pc.deliverProb {
-			e.record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tagOf(payload), Detail: "sender crashed mid-broadcast"})
+			if e.rec != nil {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "sender crashed mid-broadcast"})
+			}
 			continue
 		}
 		d, ok := e.cfg.Net.Delay(e.now, e.rng)
 		if !ok {
-			e.record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tagOf(payload), Detail: "lost"})
+			if e.rec != nil {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "lost"})
+			}
 			continue
 		}
 		if d < 1 {
 			d = 1
 		}
-		e.push(&event{time: e.now + d, kind: evDeliver, pid: PID(to), payload: payload})
+		e.push(event{time: e.now + d, kind: evDeliver, pid: PID(to), payload: payload})
 	}
 	if partial {
 		e.partialCrash[from] = nil
 		e.crashed[from] = true
-		e.record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(from), Detail: "mid-broadcast"})
+		if e.rec != nil {
+			e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(from), Detail: "mid-broadcast"})
+		}
 	}
 }
 
@@ -305,18 +373,32 @@ func (e *Engine) setTimer(p PID, d Time, tag int) {
 	if d < 1 {
 		d = 1
 	}
-	e.push(&event{time: e.now + d, kind: evTimer, pid: p, tag: tag})
+	e.push(event{time: e.now + d, kind: evTimer, pid: p, tag: tag})
 }
 
-func (e *Engine) push(ev *event) {
+func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.queue = append(e.queue, ev)
+	e.queue.up(len(e.queue) - 1)
+}
+
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the payload reference
+	e.queue = q[:n]
+	if n > 1 {
+		e.queue.down(0)
+	}
+	return top
 }
 
 func (e *Engine) record(ev trace.Event) {
-	if e.cfg.Recorder != nil {
-		e.cfg.Recorder.Record(ev)
+	if e.rec != nil {
+		e.rec.Record(ev)
 	}
 }
 
@@ -326,9 +408,21 @@ func (e *Engine) note(p PID, kind trace.Kind, tag, detail string) {
 	e.record(trace.Event{Time: e.now, Kind: kind, PID: int(p), MsgTag: tag, Detail: detail})
 }
 
+// tagCache memoizes the reflected type name of untagged payloads. It is a
+// process-wide sync.Map because engines may run concurrently in sweep
+// workers; payload type universes are tiny, so the map stays small and
+// reads are lock-free.
+var tagCache sync.Map // reflect.Type -> string
+
 func tagOf(payload any) string {
 	if t, ok := payload.(Tagger); ok {
 		return t.MsgTag()
 	}
-	return fmt.Sprintf("%T", payload)
+	rt := reflect.TypeOf(payload)
+	if s, ok := tagCache.Load(rt); ok {
+		return s.(string)
+	}
+	s := fmt.Sprintf("%T", payload)
+	tagCache.Store(rt, s)
+	return s
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/ident"
@@ -321,7 +322,7 @@ func TestEngineAccessors(t *testing.T) {
 	eng.AddProcess(p)
 	eng.AddProcess(&echoProc{})
 	samples := 0
-	eng.AfterEvent(func(now Time) { samples++ })
+	eng.AfterEvent(func(now Time, p PID) { samples++ })
 	eng.Run(20)
 	if eng.Now() == 0 {
 		t.Error("Now should advance past 0 after deliveries")
@@ -444,3 +445,174 @@ type badTimerMod struct{}
 func (m *badTimerMod) Init(env Environment) { env.SetTimer(1, -1) }
 func (m *badTimerMod) OnMessage(any)        {}
 func (m *badTimerMod) OnTimer(int)          {}
+
+// TestCorrectSetCrashThenQueryOrdering is the regression test for the
+// incremental pending-crash bookkeeping: CorrectSet must give the same
+// answer at every interleaving of scheduling, firing, and querying —
+// including duplicate crash schedules for one process and crashes
+// scheduled for already-crashed processes.
+func TestCorrectSetCrashThenQueryOrdering(t *testing.T) {
+	eng, _ := newEngine(t, ident.Unique(4), Timely{Delta: 2}, 1)
+	// Two crash events for p1 (the schedule API allows duplicates) and one
+	// for p2, later.
+	eng.CrashAt(1, 10)
+	eng.CrashAt(1, 20)
+	eng.CrashAt(2, 30)
+
+	correct := func() map[PID]bool {
+		out := map[PID]bool{}
+		for _, p := range eng.CorrectSet() {
+			out[p] = true
+		}
+		return out
+	}
+	// Before running: both scheduled processes are excluded.
+	if c := correct(); !c[0] || c[1] || c[2] || !c[3] {
+		t.Fatalf("pre-run CorrectSet = %v", eng.CorrectSet())
+	}
+	// Query after every event: the answer must be stable at every point —
+	// a scheduled-but-unfired crash excludes exactly like a fired one.
+	eng.AfterEvent(func(now Time, p PID) {
+		if c := correct(); !c[0] || c[1] || c[2] || !c[3] {
+			t.Fatalf("t=%d: CorrectSet = %v", now, eng.CorrectSet())
+		}
+	})
+	eng.Run(100)
+	if !eng.Crashed(1) || !eng.Crashed(2) {
+		t.Fatal("scheduled crashes did not fire")
+	}
+	if got := len(eng.CorrectSet()); got != 2 {
+		t.Fatalf("final CorrectSet size = %d, want 2", got)
+	}
+	if ids := eng.CorrectIDs(); len(ids) != 2 {
+		t.Fatalf("CorrectIDs = %v", ids)
+	}
+}
+
+// TestCorrectSetWithCrashDuringBroadcast pins the interaction between the
+// pending-crash counters and the partial-crash path: a process marked
+// CrashDuringBroadcast is excluded from CorrectSet before, during and
+// after its final partial broadcast, and combining both crash APIs on one
+// process cannot resurrect it.
+func TestCorrectSetWithCrashDuringBroadcast(t *testing.T) {
+	eng := New(Config{IDs: ident.Unique(6), Net: Timely{Delta: 1}, Seed: 3})
+	procs := make([]*pollster, 6)
+	for i := range procs {
+		procs[i] = &pollster{}
+		eng.AddProcess(procs[i])
+	}
+	eng.CrashDuringBroadcast(0, 4, 0.5)
+	// p0 also has a (redundant) timed crash after the partial one fires.
+	eng.CrashAt(0, 50)
+	eng.CrashAt(1, 8)
+
+	sawDuring := false
+	eng.AfterEvent(func(now Time, p PID) {
+		for _, q := range eng.CorrectSet() {
+			if q == 0 || q == 1 {
+				t.Fatalf("t=%d: process %d in CorrectSet despite scheduled/partial crash", now, q)
+			}
+		}
+		if eng.Crashed(0) {
+			sawDuring = true
+		}
+	})
+	eng.Run(100)
+	if !eng.Crashed(0) {
+		t.Fatal("process 0 never crashed during broadcast")
+	}
+	if !sawDuring {
+		t.Fatal("observer never saw the post-crash state")
+	}
+	// All crash events drained: CorrectSet must now be exactly {2,3,4,5}.
+	got := eng.CorrectSet()
+	want := []PID{2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("CorrectSet = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CorrectSet = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAfterEventReportsEventProcess pins the AfterEvent contract: the
+// callback receives the PID the event concerned, and -1 exactly once for
+// the initial time-0 notification.
+func TestAfterEventReportsEventProcess(t *testing.T) {
+	eng := New(Config{IDs: ident.Unique(3), Net: Timely{Delta: 2}, Seed: 1})
+	for i := 0; i < 3; i++ {
+		eng.AddProcess(&echoProc{})
+	}
+	eng.CrashAt(2, 1)
+	inits, events := 0, 0
+	eng.AfterEvent(func(now Time, p PID) {
+		if p == -1 {
+			inits++
+			if now != 0 {
+				t.Fatalf("init notification at t=%d", now)
+			}
+			return
+		}
+		events++
+		if p < 0 || int(p) >= 3 {
+			t.Fatalf("event PID %d out of range", p)
+		}
+	})
+	eng.Run(50)
+	if inits != 1 {
+		t.Fatalf("got %d init notifications, want 1", inits)
+	}
+	if events != eng.Processed() {
+		t.Fatalf("observer saw %d events, engine processed %d", events, eng.Processed())
+	}
+}
+
+// TestEventQueueOrdering is a property test for the value-typed 4-ary
+// heap: pushes with random times must pop in nondecreasing (time, seq)
+// order, FIFO among equal times.
+func TestEventQueueOrdering(t *testing.T) {
+	eng := New(Config{IDs: ident.Unique(1), Seed: 99})
+	rng := eng.rng
+	for i := 0; i < 5000; i++ {
+		eng.push(event{time: Time(rng.Int63n(50)), kind: evTimer, pid: 0, tag: i})
+	}
+	lastTime := Time(-1)
+	lastSeq := uint64(0)
+	for i := 0; i < 5000; i++ {
+		ev := eng.pop()
+		if ev.time < lastTime || (ev.time == lastTime && ev.seq < lastSeq) {
+			t.Fatalf("pop %d out of order: t=%d seq=%d after t=%d seq=%d", i, ev.time, ev.seq, lastTime, lastSeq)
+		}
+		lastTime, lastSeq = ev.time, ev.seq
+	}
+	if len(eng.queue) != 0 {
+		t.Fatalf("queue not drained: %d left", len(eng.queue))
+	}
+}
+
+// TestTraceOffNoTagComputation pins the lazy-trace contract: with a nil
+// recorder the engine must not call MsgTag or format details.
+func TestTraceOffNoTagComputation(t *testing.T) {
+	eng := New(Config{IDs: ident.Unique(2), Net: Timely{Delta: 1}, Seed: 1})
+	probes := []*tagCounter{{}, {}}
+	eng.AddProcess(probes[0])
+	eng.AddProcess(probes[1])
+	eng.Run(20)
+	if n := tagCalls.Load(); n != 0 {
+		t.Fatalf("MsgTag called %d times with tracing off", n)
+	}
+}
+
+var tagCalls atomic.Int64
+
+type countedPayload struct{}
+
+func (countedPayload) MsgTag() string { tagCalls.Add(1); return "COUNTED" }
+
+type tagCounter struct{ env Environment }
+
+func (p *tagCounter) Init(env Environment) { p.env = env; env.Broadcast(countedPayload{}) }
+func (p *tagCounter) OnMessage(any)        {}
+func (p *tagCounter) OnTimer(int)          {}

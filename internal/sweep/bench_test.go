@@ -1,0 +1,56 @@
+package sweep_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// benchScenario is one self-contained simulation: 8 homonymous processes
+// flooding pings over an async network for 2000 time units. Each call
+// builds its own engine, so scenarios share nothing and the sweep's
+// speedup ceiling is set by the hardware, not by contention.
+func benchScenario(seed int64) int {
+	eng := sim.New(sim.Config{
+		IDs:  ident.Balanced(8, 4),
+		Net:  sim.Async{MaxDelay: 5},
+		Seed: seed,
+	})
+	for i := 0; i < 8; i++ {
+		eng.AddProcess(&pollster{})
+	}
+	eng.Run(2000)
+	return eng.Processed()
+}
+
+// BenchmarkSweepWorkers sweeps a fixed 64-scenario batch at increasing
+// worker counts. ns/op is the wall time of the whole batch, so near-linear
+// scaling shows up as ns/op dropping in proportion to the worker count
+// (until the core count is exhausted).
+func BenchmarkSweepWorkers(b *testing.B) {
+	seeds := make([]int64, 64)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	counts := []int{1, 2, 4}
+	if max := runtime.GOMAXPROCS(0); max > 4 {
+		counts = append(counts, max)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				events := sweep.MapOpt(sweep.Options{Workers: workers}, seeds, func(_ int, s int64) int {
+					return benchScenario(s)
+				})
+				if events[0] == 0 {
+					b.Fatal("scenario processed no events")
+				}
+			}
+		})
+	}
+}

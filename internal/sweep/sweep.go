@@ -1,0 +1,145 @@
+// Package sweep fans independent simulation scenarios across CPU cores.
+//
+// The simulator (internal/sim) is strictly deterministic but single-
+// goroutine: one engine is one totally ordered event queue. Experiment
+// campaigns, however, run hundreds of independent (seed, assignment,
+// network model, crash pattern) scenarios, and those parallelize
+// perfectly — engines share no mutable state. The sweep runner is the
+// repository's one concurrency primitive for that fan-out.
+//
+// # Determinism contract
+//
+// Map and MapErr guarantee order-independent, reproducible aggregation:
+// result i is produced by f(i, inputs[i]) alone, each worker writes only
+// its own result slot, and the output slice is ordered by input index —
+// never by completion order. Provided f is itself deterministic per input
+// (every scenario seeds its own engine and builds its own recorder and
+// ground truth), a sweep's output is byte-identical for every worker
+// count, including Workers=1 (fully serial, no goroutines). The test
+// suite pins this: serial and parallel sweeps of the experiment tables
+// must agree bit for bit, under the race detector.
+//
+// f must not share mutable state across calls; everything an engine
+// touches (rand source, recorder, probes, truth) must be created inside f.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures one sweep.
+type Options struct {
+	// Workers is the number of concurrent scenarios. 0 means the
+	// process-wide default (SetDefaultWorkers), which itself defaults to
+	// GOMAXPROCS; 1 runs serially on the calling goroutine.
+	Workers int
+}
+
+// defaultWorkers is the process-wide worker count used when Options.Workers
+// is 0. Zero means GOMAXPROCS.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the process-wide default worker count (n <= 0
+// resets to GOMAXPROCS). CLIs expose it as -workers; tests use it to force
+// serial runs.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers reports the effective default worker count.
+func DefaultWorkers() int {
+	if n := int(defaultWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs f(i, inputs[i]) for every input on the default worker pool and
+// returns the results in input order.
+func Map[I, R any](inputs []I, f func(i int, in I) R) []R {
+	return MapOpt(Options{}, inputs, f)
+}
+
+// MapOpt is Map with explicit options.
+func MapOpt[I, R any](opt Options, inputs []I, f func(i int, in I) R) []R {
+	results := make([]R, len(inputs))
+	run(opt, len(inputs), func(i int) { results[i] = f(i, inputs[i]) })
+	return results
+}
+
+// MapErr is MapOpt for fallible scenarios. All inputs run to completion;
+// the returned error is the lowest-index one, so the aggregate outcome
+// does not depend on completion order.
+func MapErr[I, R any](opt Options, inputs []I, f func(i int, in I) (R, error)) ([]R, error) {
+	results := make([]R, len(inputs))
+	errs := make([]error, len(inputs))
+	run(opt, len(inputs), func(i int) { results[i], errs[i] = f(i, inputs[i]) })
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// run executes job(0..n-1) on a pool. Workers pull the next index from an
+// atomic counter; each index is executed exactly once. A panic in any job
+// is captured and re-raised on the calling goroutine after the pool
+// drains, matching serial semantics.
+func run(opt Options, n int, job func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					job(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
