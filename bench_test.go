@@ -234,3 +234,30 @@ func BenchmarkE16_TimeoutAdaptation(b *testing.B) {
 func BenchmarkE17_PhaseMessageBreakdown(b *testing.B) {
 	benchTable(b, experiments.E17PhaseMessageBreakdown)
 }
+
+func BenchmarkE18_ChurnSweep(b *testing.B) {
+	benchTable(b, experiments.E18ChurnSweep)
+}
+
+func BenchmarkE19_HeavyTailDelays(b *testing.B) {
+	benchTable(b, experiments.E19HeavyTailDelays)
+}
+
+// BenchmarkChurnEngine1000 measures the raw engine on the n=1000
+// crash-recovery heartbeat scenario — the large-n hot path (deliver fan-out
+// plus churn bookkeeping) in isolation, without table rendering.
+func BenchmarkChurnEngine1000(b *testing.B) {
+	var events int64
+	for i := 0; i < b.N; i++ {
+		res, err := hds.RunHeartbeatChurn(hds.HeartbeatExperiment{
+			IDs:   hds.BalancedIDs(1000, 50),
+			Churn: hds.ChurnSpec{Fraction: 0.2, Cycles: 1, Start: 5, Down: 12},
+			Seed:  int64(i), Period: 15, Horizon: 40, MaxEvents: 20_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += int64(res.Processed)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+}

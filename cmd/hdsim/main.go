@@ -1,13 +1,21 @@
-// Command hdsim runs one verified consensus experiment on the simulator:
+// Command hdsim runs one verified experiment on the simulator:
 //
 //	go run ./cmd/hdsim -algo fig8 -n 5 -l 2 -t 2 -crashes 1:30
 //	go run ./cmd/hdsim -algo fig9 -n 6 -l 3 -crashes 0:20,1:40,2:60,3:80
 //	go run ./cmd/hdsim -algo fig8 -detectors mp -gst 80 -delta 3
+//	go run ./cmd/hdsim -algo fig8 -net pareto:1.5:15
+//	go run ./cmd/hdsim -algo ohp -n 12 -l 4 -churn 0.25:2:40:60
 //
 // Algorithms: fig8 = HAS[t<n/2, HΩ] (Theorem 7); fig9 = HAS[HΩ, HΣ]
 // (Theorem 8, any number of crashes); fig9-anon = the anonymous AΩ
-// baseline. Every run is verified (termination/validity/agreement) before
+// baseline; ohp = the standalone Figure 6 detector (◇HP̄ → HΩ), the only
+// algorithm that supports crash-recovery churn (-churn). Every run is
+// verified (consensus properties, or detector class properties) before
 // results are printed; a verification failure exits non-zero.
+//
+// -net selects the delay model (see cliutil.ParseNet): async[:max],
+// psync:gst:delta, timely[:δ], pareto[:α[:cap]], lognormal[:σ[:cap]],
+// alt[:period[:calm]], asym[:skew]. It overrides -gst/-delta.
 //
 // With -seeds k > 1 the same scenario is swept over k consecutive seeds in
 // parallel across all cores (deterministically: the report is identical
@@ -29,11 +37,13 @@ import (
 )
 
 func main() {
-	algo := flag.String("algo", "fig8", "fig8, fig9, or fig9-anon")
+	algo := flag.String("algo", "fig8", "fig8, fig9, fig9-anon, or ohp (standalone Figure 6 detector)")
 	n := flag.Int("n", 5, "number of processes")
 	l := flag.Int("l", 2, "number of distinct identifiers (1 = anonymous, n = unique)")
 	t := flag.Int("t", 2, "crash bound for fig8 (t < n/2)")
 	crashes := flag.String("crashes", "", "crash schedule pid:time[,pid:time...]")
+	churn := flag.String("churn", "", "crash-recovery churn fraction[:cycles[:down[:up]]], stagger fixed at 7 (ohp only)")
+	netSpec := flag.String("net", "", "network model spec (overrides -gst/-delta; see doc comment)")
 	seed := flag.Int64("seed", 1, "random seed (first seed of a sweep)")
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to sweep")
 	workers := flag.Int("workers", 0, "sweep parallelism (0 = all cores, 1 = serial)")
@@ -42,6 +52,7 @@ func main() {
 	detectors := flag.String("detectors", "oracle", "oracle, or mp (fig8 only: the Figure 6 stack)")
 	gst := flag.Int64("gst", 0, "network GST (0 = fully asynchronous reliable)")
 	delta := flag.Int64("delta", 3, "post-GST latency bound")
+	horizon := flag.Int64("horizon", 0, "virtual-time horizon (0 = algorithm default)")
 	flag.Parse()
 	sweep.SetDefaultWorkers(*workers)
 
@@ -49,14 +60,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	churnSpec, err := cliutil.ParseChurn(*churn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if churnSpec.Fraction > 0 && *algo != "ohp" {
+		log.Fatalf("-churn requires -algo ohp: the consensus algorithms are crash-stop (recovered processes are outside their fault model)")
+	}
 	ids := hds.BalancedIDs(*n, *l)
 	var net sim.Model = hds.Async{MaxDelay: 8}
 	if *gst > 0 {
 		net = hds.PartialSync{GST: *gst, Delta: *delta}
 	}
+	if *netSpec != "" {
+		if net, err = cliutil.ParseNet(*netSpec); err != nil {
+			log.Fatal(err)
+		}
+	}
 	adv := map[string]oracle.Adversary{
 		"none": oracle.AdversaryNone, "rotate": oracle.AdversaryRotate, "split": oracle.AdversarySplit,
 	}[*adversary]
+
+	if *algo == "ohp" {
+		if *seeds > 1 {
+			log.Fatal("-seeds > 1 is not supported with -algo ohp; sweep seeds with the consensus algorithms or via internal/sweep")
+		}
+		runOHP(ids, net, *netSpec != "" || *gst > 0, sched, churnSpec, *gst, *delta, *seed, *horizon)
+		return
+	}
+	consensusHorizon := *horizon
+	if consensusHorizon <= 0 {
+		consensusHorizon = 3_000_000
+	}
 
 	runOne := func(seed int64) (hds.Report, hds.Stats, error) {
 		switch *algo {
@@ -68,14 +103,14 @@ func main() {
 			return hds.RunFig8(hds.Fig8Experiment{
 				IDs: ids, T: *t, Crashes: sched, Net: net,
 				Detectors: src, Stabilize: *stabilize, Adversary: adv, Seed: seed,
-				Horizon: 3_000_000,
+				Horizon: consensusHorizon,
 			})
 		case "fig9", "fig9-anon":
 			return hds.RunFig9(hds.Fig9Experiment{
 				IDs: ids, Crashes: sched, Net: net,
 				AnonymousBaseline: *algo == "fig9-anon",
 				Stabilize:         *stabilize, Adversary: adv, Seed: seed,
-				Horizon: 3_000_000,
+				Horizon: consensusHorizon,
 			})
 		default:
 			log.Fatalf("unknown algorithm %q", *algo)
@@ -101,6 +136,57 @@ func main() {
 	fmt.Printf("  decisions span:   t=%d .. t=%d\n", rep.FirstDecision, rep.LastDecision)
 	fmt.Printf("  broadcasts:       %d total — %s\n", stats.Broadcasts, cliutil.FormatTagCounts(stats.ByTag))
 	fmt.Printf("  deliveries/drops: %d/%d\n", stats.Delivered, stats.Dropped)
+}
+
+// runOHP runs the standalone Figure 6 detector — crash-stop (verified
+// ◇HP̄/HΩ class properties) or, with a churn spec, crash-recovery churn
+// (verified against the eventually-up ground truth).
+func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PID]hds.Time,
+	churn hds.ChurnSpec, gst, delta int64, seed, horizon int64) {
+	if churn.Fraction > 0 {
+		if len(crashes) > 0 {
+			log.Fatal("use either -churn or -crashes for -algo ohp, not both")
+		}
+		// -net or -gst/-delta override the churn default (PartialSync{δ=3}).
+		var cnet sim.Model
+		if netGiven {
+			cnet = net
+		}
+		effective := cnet
+		if effective == nil {
+			effective = sim.PartialSync{Delta: 3}
+		}
+		fmt.Printf("algo=ohp ids=%v churn=%s net=%s seed=%d\n", ids, churn, effective, seed)
+		res, err := hds.RunChurnOHP(hds.ChurnOHPExperiment{
+			IDs: ids, Churn: churn, Net: cnet, Seed: seed, Horizon: horizon,
+		})
+		if err != nil {
+			log.Fatalf("verification failed: %v", err)
+		}
+		fmt.Println("detector verified ✔ (◇HP̄ + HΩ over the eventually-up set)")
+		fmt.Printf("  eventually up:    %d/%d (correct in the strict sense: %d)\n", res.EventuallyUp, ids.N(), res.Correct)
+		fmt.Printf("  recoveries:       %d\n", res.Recoveries)
+		fmt.Printf("  last change:      t=%d\n", res.LastChange)
+		fmt.Printf("  ◇HP̄ re-stab:     t=%d\n", res.TrustedRestab)
+		fmt.Printf("  HΩ re-stab:       t=%d  leader=%s\n", res.LeaderRestab, res.Leader)
+		fmt.Printf("  broadcasts:       %d — %s\n", res.Stats.Broadcasts, cliutil.FormatTagCounts(res.Stats.ByTag))
+		return
+	}
+	exp := hds.OHPExperiment{IDs: ids, Crashes: crashes, GST: gst, Delta: delta, Seed: seed, Horizon: horizon}
+	var effective sim.Model = sim.PartialSync{GST: gst, Delta: delta} // RunOHP's default
+	if netGiven {
+		exp.Net = net
+		effective = net
+	}
+	fmt.Printf("algo=ohp ids=%v crashes=%d net=%s seed=%d\n", ids, len(crashes), effective, seed)
+	res, err := hds.RunOHP(exp)
+	if err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
+	fmt.Println("detector verified ✔ (◇HP̄ + HΩ)")
+	fmt.Printf("  ◇HP̄ stabilized:  t=%d\n", res.TrustedStabilization)
+	fmt.Printf("  HΩ stabilized:    t=%d  leader=%s\n", res.LeaderStabilization, res.Leader)
+	fmt.Printf("  broadcasts:       %d — %s\n", res.Stats.Broadcasts, cliutil.FormatTagCounts(res.Stats.ByTag))
 }
 
 // runSweep executes the scenario across consecutive seeds on the sweep

@@ -88,6 +88,18 @@ type (
 	PartialSync = sim.PartialSync
 	// Async is the HAS network model (reliable asynchronous links).
 	Async = sim.Async
+	// Pareto is the truncated heavy-tailed (Pareto) delay model.
+	Pareto = sim.Pareto
+	// LogNormal is the truncated log-normal delay model.
+	LogNormal = sim.LogNormal
+	// Alternating is time-varying partial synchrony (good/bad windows).
+	Alternating = sim.Alternating
+	// AsymmetricLinks adds a deterministic per-directed-link latency skew.
+	AsymmetricLinks = sim.AsymmetricLinks
+	// ChurnSpec generates deterministic crash-recovery churn schedules.
+	ChurnSpec = sim.ChurnSpec
+	// ChurnEvent is one crash/recover entry of a churn schedule.
+	ChurnEvent = sim.ChurnEvent
 	// Stats aggregates message costs of a run.
 	Stats = trace.Stats
 	// Report is the verified outcome of a consensus run.
@@ -186,6 +198,9 @@ func RunFig8(e Fig8Experiment) (Report, Stats, error) {
 		eng.CrashAt(p, at)
 	}
 	eng.RunUntil(e.Horizon, func() bool { return allDecidedFig8(truth, insts) })
+	if err := guardErr(eng); err != nil {
+		return Report{}, rec.Stats(), err
+	}
 
 	outcomes := make([]core.Outcome, n)
 	for i, inst := range insts {
@@ -255,6 +270,9 @@ func RunFig9(e Fig9Experiment) (Report, Stats, error) {
 		eng.CrashAt(p, at)
 	}
 	eng.RunUntil(e.Horizon, func() bool { return allDecidedFig9(truth, insts) })
+	if err := guardErr(eng); err != nil {
+		return Report{}, rec.Stats(), err
+	}
 
 	outcomes := make([]core.Outcome, n)
 	for i, inst := range insts {
@@ -283,6 +301,17 @@ func allDecidedFig9(truth *fd.GroundTruth, insts []*core.Fig9) bool {
 		}
 	}
 	return true
+}
+
+// guardErr converts a MaxEvents-truncated run into an error. Every
+// experiment driver calls it right after the run: a truncated execution is
+// not a quiescent one, and silently reading its results would turn the
+// runaway guard into a source of wrong tables.
+func guardErr(eng *sim.Engine) error {
+	if eng.Stopped() == sim.StopMaxEvents {
+		return fmt.Errorf("hds: run truncated by the MaxEvents guard after %d events — raise MaxEvents or shrink the scenario", eng.Processed())
+	}
+	return nil
 }
 
 func defaultProposals(n int) []Value {

@@ -1,0 +1,267 @@
+package hds
+
+import (
+	"fmt"
+
+	"repro/internal/fd"
+	"repro/internal/fd/ohp"
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ChurnOHPExperiment runs the Figure 6 detector under crash-recovery
+// churn: a fraction of the processes cycle down and up, and the detector
+// must re-converge to I(EventuallyUp) — the crash-recovery restatement of
+// the ◇HP̄/HΩ class properties (their crash-stop forms are the special
+// case with no recoveries).
+type ChurnOHPExperiment struct {
+	IDs   Assignment
+	Churn ChurnSpec
+	// Net defaults to PartialSync{Delta: 3} (timely from the start, so the
+	// measured re-stabilization is attributable to churn, not to GST).
+	Net  sim.Model
+	Seed int64
+	// Horizon caps virtual time (default 5000). It must comfortably exceed
+	// the churn schedule's last event.
+	Horizon Time
+	// MaxEvents overrides the engine's runaway guard (0 = engine default).
+	MaxEvents int
+}
+
+// ChurnOHPResult reports the verified churn run.
+type ChurnOHPResult struct {
+	// LastChange is the final fault-pattern change (last crash or
+	// recovery) — the earliest instant re-stabilization could begin.
+	LastChange Time
+	// TrustedRestab is when the last eventually-up process's h_trusted
+	// settled on I(EventuallyUp).
+	TrustedRestab Time
+	// LeaderRestab is the analogous instant for the HΩ output.
+	LeaderRestab Time
+	// Leader is the stabilized HΩ output.
+	Leader LeaderInfo
+	// EventuallyUp and Correct are |EventuallyUp| and |Correct|.
+	EventuallyUp, Correct int
+	// Recoveries counts executed recover events.
+	Recoveries int
+	// Stopped is why the run ended (horizon for a healthy detector run:
+	// polling never quiesces).
+	Stopped sim.StopReason
+	// Stats aggregates message costs over the horizon.
+	Stats Stats
+}
+
+// RunChurnOHP executes Figure 6 on every process under the churn schedule,
+// verifies the churn-restated ◇HP̄ and HΩ class properties against the
+// ground truth, cross-checks the engine's incremental fault bookkeeping
+// against the schedule-derived truth, and reports re-stabilization times.
+func RunChurnOHP(e ChurnOHPExperiment) (ChurnOHPResult, error) {
+	if e.Horizon == 0 {
+		e.Horizon = 5000
+	}
+	net := e.Net
+	if net == nil {
+		net = sim.PartialSync{Delta: 3}
+	}
+	n := e.IDs.N()
+	rec := &trace.Recorder{}
+	eng := sim.New(sim.Config{IDs: e.IDs, Net: net, Seed: e.Seed, Recorder: rec, MaxEvents: e.MaxEvents})
+	dets := make([]*ohp.Detector, n)
+	for i := range dets {
+		dets[i] = ohp.New()
+		eng.AddProcess(dets[i])
+	}
+	schedule := e.Churn.Events(n)
+	eng.ApplyChurn(schedule)
+	truth := fd.NewGroundTruthFromChurn(e.IDs, schedule)
+
+	trustedProbe := fd.NewProbe(eng, n, func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
+		if eng.Crashed(p) {
+			return nil, false
+		}
+		return dets[p].TrustedView(), true
+	}, func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) })
+	leaderProbe := fd.NewProbe(eng, n, func(p sim.PID) (fd.LeaderInfo, bool) {
+		if eng.Crashed(p) {
+			return fd.LeaderInfo{}, false
+		}
+		return dets[p].Leader()
+	}, func(a, b fd.LeaderInfo) bool { return a == b })
+
+	eng.Run(e.Horizon)
+	if err := guardErr(eng); err != nil {
+		return ChurnOHPResult{}, err
+	}
+	if err := checkTruthConsistency(eng, truth); err != nil {
+		return ChurnOHPResult{}, err
+	}
+
+	resT, err := fd.CheckDiamondHPbar(truth, trustedProbe)
+	if err != nil {
+		return ChurnOHPResult{}, err
+	}
+	resL, err := fd.CheckHOmega(truth, leaderProbe)
+	if err != nil {
+		return ChurnOHPResult{}, err
+	}
+	out := ChurnOHPResult{
+		LastChange:    truth.LastChange(),
+		TrustedRestab: resT.StabilizationTime,
+		LeaderRestab:  resL.StabilizationTime,
+		EventuallyUp:  len(truth.EventuallyUp()),
+		Correct:       len(truth.Correct()),
+		Recoveries:    eng.Recoveries(),
+		Stopped:       eng.Stopped(),
+		Stats:         rec.Stats(),
+	}
+	if up := truth.EventuallyUp(); len(up) > 0 {
+		out.Leader, _ = leaderProbe.Last(up[0])
+	}
+	return out, nil
+}
+
+// HeartbeatExperiment is the scalable churn workload: every process beats
+// (one broadcast) every Period, churners cycle down and up, and the run is
+// judged on engine-level ground truth and aggregate costs rather than on a
+// full detector stack — which is what makes n in the hundreds to thousands
+// affordable. It is the stress harness for the engine's crash-recovery
+// path, not a paper artifact.
+type HeartbeatExperiment struct {
+	IDs   Assignment
+	Churn ChurnSpec
+	// Net defaults to Async{MaxDelay: 8}.
+	Net    sim.Model
+	Period Time // beat interval, default 10
+	Seed   int64
+	// Horizon caps virtual time (default 10 periods).
+	Horizon Time
+	// MaxEvents overrides the engine's runaway guard (0 = engine default).
+	MaxEvents int
+}
+
+// HeartbeatResult reports one heartbeat-churn run.
+type HeartbeatResult struct {
+	// Processed is the number of simulator events executed.
+	Processed int
+	// Stopped is why the run ended (quiescent, horizon, max-events).
+	Stopped sim.StopReason
+	// EventuallyUp and Correct are |EventuallyUp| and |Correct|.
+	EventuallyUp, Correct int
+	// Recoveries counts executed recover events.
+	Recoveries int
+	// Stats aggregates message costs.
+	Stats Stats
+}
+
+// beat is the heartbeat payload.
+type beat struct{}
+
+// MsgTag implements sim.Tagger.
+func (beat) MsgTag() string { return "BEAT" }
+
+// heartbeater broadcasts one beat per period and restarts its chain after
+// recovery (timer epochs keep exactly one chain live).
+type heartbeater struct {
+	env    sim.Environment
+	period Time
+	epoch  int
+	heard  int
+}
+
+func (h *heartbeater) Init(env sim.Environment) {
+	h.env = env
+	env.Broadcast(beat{})
+	env.SetTimer(h.period, h.epoch)
+}
+
+func (h *heartbeater) OnMessage(any) { h.heard++ }
+
+func (h *heartbeater) OnTimer(tag int) {
+	if tag != h.epoch {
+		return // stale pre-outage timer
+	}
+	h.env.Broadcast(beat{})
+	h.env.SetTimer(h.period, h.epoch)
+}
+
+func (h *heartbeater) OnRecover() {
+	h.epoch++
+	h.env.Broadcast(beat{})
+	h.env.SetTimer(h.period, h.epoch)
+}
+
+var (
+	_ sim.Process   = (*heartbeater)(nil)
+	_ sim.Recoverer = (*heartbeater)(nil)
+)
+
+// RunHeartbeatChurn executes the heartbeat workload under churn and
+// cross-checks the engine's incremental Correct/EventuallyUp bookkeeping
+// against the schedule-derived ground truth.
+func RunHeartbeatChurn(e HeartbeatExperiment) (HeartbeatResult, error) {
+	if e.Period <= 0 {
+		e.Period = 10
+	}
+	if e.Horizon == 0 {
+		e.Horizon = 10 * e.Period
+	}
+	net := e.Net
+	if net == nil {
+		net = sim.Async{MaxDelay: 8}
+	}
+	n := e.IDs.N()
+	rec := &trace.Recorder{} // stats only: KeepEvents=false keeps big n cheap
+	eng := sim.New(sim.Config{IDs: e.IDs, Net: net, Seed: e.Seed, Recorder: rec, MaxEvents: e.MaxEvents})
+	for i := 0; i < n; i++ {
+		eng.AddProcess(&heartbeater{period: e.Period})
+	}
+	schedule := e.Churn.Events(n)
+	eng.ApplyChurn(schedule)
+	truth := fd.NewGroundTruthFromChurn(e.IDs, schedule)
+
+	eng.Run(e.Horizon)
+	if eng.Stopped() != sim.StopMaxEvents {
+		// A truncated run's engine state is still consistent, but the
+		// schedule may not have fully fired; only cross-check complete runs.
+		if err := checkTruthConsistency(eng, truth); err != nil {
+			return HeartbeatResult{}, err
+		}
+	}
+	return HeartbeatResult{
+		Processed:    eng.Processed(),
+		Stopped:      eng.Stopped(),
+		EventuallyUp: len(truth.EventuallyUp()),
+		Correct:      len(truth.Correct()),
+		Recoveries:   eng.Recoveries(),
+		Stats:        rec.Stats(),
+	}, nil
+}
+
+// checkTruthConsistency asserts that the engine's incremental fault
+// bookkeeping (pending-crash counters, crash/recover schedule keys) agrees
+// with the ground truth derived independently from the schedule. Any
+// divergence means the engine's CorrectSet/EventuallyUpSet — the sets every
+// checker verdict is relative to — has drifted from what actually happened.
+func checkTruthConsistency(eng *sim.Engine, truth *fd.GroundTruth) error {
+	if got, want := eng.CorrectSet(), truth.Correct(); !samePIDs(got, want) {
+		return fmt.Errorf("hds: engine CorrectSet %v disagrees with ground truth %v", got, want)
+	}
+	if got, want := eng.EventuallyUpSet(), truth.EventuallyUp(); !samePIDs(got, want) {
+		return fmt.Errorf("hds: engine EventuallyUpSet %v disagrees with ground truth %v", got, want)
+	}
+	return nil
+}
+
+func samePIDs(a, b []sim.PID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

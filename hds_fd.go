@@ -17,7 +17,13 @@ type OHPExperiment struct {
 	Crashes map[PID]Time
 	GST     Time
 	Delta   Time
-	Seed    int64
+	// Net overrides the network model. When nil the experiment runs on
+	// PartialSync{GST, Delta} — the paper's HPS setting. Any eventually
+	// timely model works (the truncated heavy-tail models qualify: their
+	// Cap bounds every delay); the delay ablation experiment (E19) sweeps
+	// them.
+	Net  sim.Model
+	Seed int64
 	// Horizon caps virtual time (default 5000).
 	Horizon Time
 }
@@ -48,10 +54,14 @@ func RunOHP(e OHPExperiment) (OHPResult, error) {
 		e.Delta = 3
 	}
 	n := e.IDs.N()
+	net := e.Net
+	if net == nil {
+		net = sim.PartialSync{GST: e.GST, Delta: e.Delta}
+	}
 	rec := &trace.Recorder{}
 	eng := sim.New(sim.Config{
 		IDs:      e.IDs,
-		Net:      sim.PartialSync{GST: e.GST, Delta: e.Delta},
+		Net:      net,
 		Seed:     e.Seed,
 		Recorder: rec,
 	})
@@ -81,6 +91,9 @@ func RunOHP(e OHPExperiment) (OHPResult, error) {
 	}, func(a, b fd.LeaderInfo) bool { return a == b })
 
 	eng.Run(e.Horizon)
+	if err := guardErr(eng); err != nil {
+		return OHPResult{}, err
+	}
 
 	resT, err := fd.CheckDiamondHPbar(truth, trustedProbe)
 	if err != nil {

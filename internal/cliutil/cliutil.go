@@ -44,6 +44,125 @@ func ParseCrashes(s string) (map[sim.PID]sim.Time, error) {
 	return out, nil
 }
 
+// ParseNet parses a network-model spec for the CLIs. Forms (parameters in
+// brackets are optional):
+//
+//	async[:maxDelay]            reliable asynchronous, uniform delays
+//	psync:gst:delta             partial synchrony (HPS)
+//	timely[:delta]              fixed-latency links
+//	pareto[:alpha[:cap]]        truncated heavy tail (Pareto, scale 2)
+//	lognormal[:sigma[:cap]]     truncated heavy tail (log-normal, median 3)
+//	alt[:period[:calmAfter]]    time-varying partial synchrony
+//	asym[:maxSkew]              per-link asymmetric skew over async
+func ParseNet(spec string) (sim.Model, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	name, args := parts[0], parts[1:]
+	maxArgs := map[string]int{
+		"async": 1, "psync": 2, "timely": 1, "pareto": 2, "lognormal": 2, "alt": 2, "asym": 1,
+	}
+	if max, known := maxArgs[name]; known && len(args) > max {
+		return nil, fmt.Errorf("too many fields in net spec %q (%s takes at most %d)", spec, name, max)
+	}
+	num := func(i int, def int64) (int64, error) {
+		if i >= len(args) {
+			return def, nil
+		}
+		return strconv.ParseInt(args[i], 10, 64)
+	}
+	fnum := func(i int, def float64) (float64, error) {
+		if i >= len(args) {
+			return def, nil
+		}
+		return strconv.ParseFloat(args[i], 64)
+	}
+	switch name {
+	case "async":
+		max, err := num(0, 8)
+		if err != nil {
+			return nil, fmt.Errorf("bad async spec %q: %v", spec, err)
+		}
+		return sim.Async{MaxDelay: max}, nil
+	case "psync":
+		gst, err1 := num(0, 0)
+		delta, err2 := num(1, 3)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad psync spec %q (want psync:gst:delta)", spec)
+		}
+		return sim.PartialSync{GST: gst, Delta: delta}, nil
+	case "timely":
+		delta, err := num(0, 1)
+		if err != nil {
+			return nil, fmt.Errorf("bad timely spec %q: %v", spec, err)
+		}
+		return sim.Timely{Delta: delta}, nil
+	case "pareto":
+		alpha, err1 := fnum(0, 1.5)
+		cap, err2 := num(1, 15)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad pareto spec %q (want pareto[:alpha[:cap]])", spec)
+		}
+		return sim.Pareto{Scale: 2, Alpha: alpha, Cap: cap}, nil
+	case "lognormal":
+		sigma, err1 := fnum(0, 1)
+		cap, err2 := num(1, 15)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad lognormal spec %q (want lognormal[:sigma[:cap]])", spec)
+		}
+		return sim.LogNormal{Median: 3, Sigma: sigma, Cap: cap}, nil
+	case "alt":
+		period, err1 := num(0, 40)
+		calm, err2 := num(1, 200)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad alt spec %q (want alt[:period[:calmAfter]])", spec)
+		}
+		return sim.Alternating{Period: period, GoodDelta: 3, BadMax: 30, BadLoss: 0.3, CalmAfter: calm}, nil
+	case "asym":
+		skew, err := num(0, 10)
+		if err != nil {
+			return nil, fmt.Errorf("bad asym spec %q: %v", spec, err)
+		}
+		return sim.AsymmetricLinks{Base: sim.Async{MaxDelay: 6}, MaxSkew: skew}, nil
+	}
+	return nil, fmt.Errorf("unknown network %q (want async, psync, timely, pareto, lognormal, alt, or asym)", name)
+}
+
+// ParseChurn parses a crash-recovery churn spec of the form
+// "fraction[:cycles[:down[:up]]]", e.g. "0.2:2:40:60". An empty string
+// yields the zero spec (no churn). CLI schedules fix Stagger at 7, so
+// successive churners' outages overlap partially instead of aligning;
+// reproduce a CLI run programmatically by setting Stagger: 7 explicitly
+// (sim.ChurnSpec's own zero value keeps churners in phase).
+func ParseChurn(spec string) (sim.ChurnSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return sim.ChurnSpec{}, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 4 {
+		return sim.ChurnSpec{}, fmt.Errorf("bad churn spec %q (want fraction[:cycles[:down[:up]]])", spec)
+	}
+	frac, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil || frac <= 0 || frac > 1 {
+		return sim.ChurnSpec{}, fmt.Errorf("bad churn fraction in %q (want a value in (0, 1])", spec)
+	}
+	out := sim.ChurnSpec{Fraction: frac, Stagger: 7}
+	for i, p := range parts[1:] {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || v <= 0 {
+			return sim.ChurnSpec{}, fmt.Errorf("bad churn field %q in %q (want a positive integer)", p, spec)
+		}
+		switch i {
+		case 0:
+			out.Cycles = int(v)
+		case 1:
+			out.Down = v
+		case 2:
+			out.Up = v
+		}
+	}
+	return out, nil
+}
+
 // FormatTagCounts renders a message-tag count map deterministically, e.g.
 // "COORD:5 PH1:10".
 func FormatTagCounts(byTag map[string]int) string {

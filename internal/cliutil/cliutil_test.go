@@ -57,3 +57,64 @@ func TestFormatTagCounts(t *testing.T) {
 		t.Errorf("FormatTagCounts(nil) = %q", got)
 	}
 }
+
+func TestParseNet(t *testing.T) {
+	good := []struct {
+		in   string
+		want string
+	}{
+		{"async", "async[1..8]"},
+		{"async:12", "async[1..12]"},
+		{"psync:50:3", "partial-sync[GST=50 δ=3]"},
+		{"timely:4", "timely[δ=4]"},
+		{"pareto", "pareto[xm=2 α=1.50 cap=15]"},
+		{"pareto:1.1:30", "pareto[xm=2 α=1.10 cap=30]"},
+		{"lognormal:0.7", "lognormal[med=3 σ=0.70 cap=15]"},
+		{"alt:40:200", "alternating[T=40 δ=3 bad=30 loss=0.30 calm=200]"},
+		{"asym:20", "asym[async[1..6] skew<=20]"},
+	}
+	for _, tt := range good {
+		m, err := ParseNet(tt.in)
+		if err != nil {
+			t.Errorf("ParseNet(%q): %v", tt.in, err)
+			continue
+		}
+		if m.String() != tt.want {
+			t.Errorf("ParseNet(%q) = %s, want %s", tt.in, m, tt.want)
+		}
+	}
+	for _, bad := range []string{"", "warp", "async:x", "pareto:x", "psync:1:y", "alt:z"} {
+		if m, err := ParseNet(bad); err == nil {
+			t.Errorf("ParseNet(%q) = %v, want error", bad, m)
+		}
+	}
+}
+
+func TestParseChurn(t *testing.T) {
+	spec, err := ParseChurn("0.2:2:40:60")
+	if err != nil {
+		t.Fatalf("ParseChurn: %v", err)
+	}
+	if spec.Fraction != 0.2 || spec.Cycles != 2 || spec.Down != 40 || spec.Up != 60 {
+		t.Fatalf("ParseChurn = %+v", spec)
+	}
+	if spec, err := ParseChurn("0.5"); err != nil || spec.Fraction != 0.5 {
+		t.Fatalf("ParseChurn(0.5) = %+v, %v", spec, err)
+	}
+	if spec, err := ParseChurn(""); err != nil || spec.Fraction != 0 {
+		t.Fatalf("ParseChurn(\"\") = %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"x", "0", "1.5", "-0.2", "0.2:0", "0.2:2:40:60:7", "0.2:a"} {
+		if spec, err := ParseChurn(bad); err == nil {
+			t.Errorf("ParseChurn(%q) = %+v, want error", bad, spec)
+		}
+	}
+}
+
+func TestParseNetRejectsExtraFields(t *testing.T) {
+	for _, bad := range []string{"async:8:9", "asym:5:9", "psync:50:3:7", "timely:1:2"} {
+		if m, err := ParseNet(bad); err == nil {
+			t.Errorf("ParseNet(%q) = %v, want error (extra fields must not be dropped)", bad, m)
+		}
+	}
+}

@@ -64,6 +64,8 @@ func Builders() []func() Table {
 		E15LeaderGroupSize,
 		E16TimeoutAdaptation,
 		E17PhaseMessageBreakdown,
+		E18ChurnSweep,
+		E19HeavyTailDelays,
 	}
 }
 

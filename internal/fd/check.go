@@ -18,10 +18,11 @@ type Result struct {
 	StabilizationTime sim.Time
 }
 
-// stabilization computes the max last-change time over correct processes.
+// stabilization computes the max last-change time over eventually-up
+// processes (= correct processes in crash-stop).
 func stabilization[T any](g *GroundTruth, pr *Probe[T]) sim.Time {
 	var worst sim.Time
-	for _, p := range g.Correct() {
+	for _, p := range g.EventuallyUp() {
 		if t := pr.LastChange(p); t > worst {
 			worst = t
 		}
@@ -29,45 +30,51 @@ func stabilization[T any](g *GroundTruth, pr *Probe[T]) sim.Time {
 	return worst
 }
 
-// CheckDiamondHPbar verifies class ◇HP̄: every correct process's final
-// trusted multiset equals I(Correct).
+// CheckDiamondHPbar verifies class ◇HP̄: every eventually-up process's
+// final trusted multiset equals I(EventuallyUp). In crash-stop executions
+// EventuallyUp is exactly the Correct set, so this is the paper's property
+// verbatim; under crash-recovery churn the class is restated relative to
+// the eventually-up processes — the only set a heartbeat-driven detector
+// can converge to.
 func CheckDiamondHPbar(g *GroundTruth, pr *Probe[*multiset.Multiset[ident.ID]]) (Result, error) {
-	want := g.CorrectIDs()
-	for _, p := range g.Correct() {
+	want := g.EventuallyUpIDs()
+	for _, p := range g.EventuallyUp() {
 		got, ok := pr.Last(p)
 		if !ok {
-			return Result{}, fmt.Errorf("◇HP̄ liveness: correct process %d produced no output", p)
+			return Result{}, fmt.Errorf("◇HP̄ liveness: eventually-up process %d produced no output", p)
 		}
 		if !got.Equal(want) {
-			return Result{}, fmt.Errorf("◇HP̄ liveness: process %d trusts %v, want I(Correct) = %v", p, got, want)
+			return Result{}, fmt.Errorf("◇HP̄ liveness: process %d trusts %v, want I(EventuallyUp) = %v", p, got, want)
 		}
 	}
 	return Result{StabilizationTime: stabilization(g, pr)}, nil
 }
 
-// CheckHOmega verifies class HΩ: eventually all correct processes output
-// the same pair (ℓ, c) with ℓ ∈ I(Correct) and c = mult_{I(Correct)}(ℓ).
+// CheckHOmega verifies class HΩ: eventually all eventually-up processes
+// output the same pair (ℓ, c) with ℓ ∈ I(EventuallyUp) and
+// c = mult_{I(EventuallyUp)}(ℓ). In crash-stop executions this is the
+// paper's property over the Correct set.
 func CheckHOmega(g *GroundTruth, pr *Probe[LeaderInfo]) (Result, error) {
-	correct := g.Correct()
-	if len(correct) == 0 {
+	up := g.EventuallyUp()
+	if len(up) == 0 {
 		return Result{}, nil
 	}
-	first, ok := pr.Last(correct[0])
+	first, ok := pr.Last(up[0])
 	if !ok {
-		return Result{}, fmt.Errorf("HΩ election: correct process %d produced no output", correct[0])
+		return Result{}, fmt.Errorf("HΩ election: eventually-up process %d produced no output", up[0])
 	}
-	for _, p := range correct[1:] {
+	for _, p := range up[1:] {
 		got, ok := pr.Last(p)
 		if !ok {
-			return Result{}, fmt.Errorf("HΩ election: correct process %d produced no output", p)
+			return Result{}, fmt.Errorf("HΩ election: eventually-up process %d produced no output", p)
 		}
 		if got != first {
-			return Result{}, fmt.Errorf("HΩ election: processes %d and %d disagree: %v vs %v", correct[0], p, first, got)
+			return Result{}, fmt.Errorf("HΩ election: processes %d and %d disagree: %v vs %v", up[0], p, first, got)
 		}
 	}
-	cids := g.CorrectIDs()
+	cids := g.EventuallyUpIDs()
 	if !cids.Contains(first.ID) {
-		return Result{}, fmt.Errorf("HΩ election: elected id %s is not the identifier of any correct process", first.ID)
+		return Result{}, fmt.Errorf("HΩ election: elected id %s is not the identifier of any eventually-up process", first.ID)
 	}
 	if want := cids.Count(first.ID); first.Multiplicity != want {
 		return Result{}, fmt.Errorf("HΩ election: multiplicity %d for id %s, want %d", first.Multiplicity, first.ID, want)
@@ -81,14 +88,14 @@ func CheckHOmega(g *GroundTruth, pr *Probe[LeaderInfo]) (Result, error) {
 // an identifier; in unique-identifier systems a shared identifier is a
 // shared process, which is the paper's setting for Σ.
 func CheckSigma(g *GroundTruth, pr *Probe[*multiset.Multiset[ident.ID]]) (Result, error) {
-	want := g.CorrectIDs()
-	for _, p := range g.Correct() {
+	want := g.EventuallyUpIDs()
+	for _, p := range g.EventuallyUp() {
 		got, ok := pr.Last(p)
 		if !ok {
-			return Result{}, fmt.Errorf("Σ liveness: correct process %d produced no output", p)
+			return Result{}, fmt.Errorf("Σ liveness: eventually-up process %d produced no output", p)
 		}
 		if !got.SubsetOf(want) {
-			return Result{}, fmt.Errorf("Σ liveness: process %d trusts %v ⊄ I(Correct) = %v", p, got, want)
+			return Result{}, fmt.Errorf("Σ liveness: process %d trusts %v ⊄ I(EventuallyUp) = %v", p, got, want)
 		}
 	}
 	var all []sampleAt[*multiset.Multiset[ident.ID]]
@@ -113,20 +120,22 @@ type sampleAt[T any] struct {
 	s   Sample[T]
 }
 
-// CheckAliveList verifies class 𝔈 (Definition 1): in every correct
-// process's final alive list, each correct identifier has rank ≤ |Correct|.
+// CheckAliveList verifies class 𝔈 (Definition 1), restated over the
+// eventually-up set (= Correct in crash-stop): in every eventually-up
+// process's final alive list, each eventually-up identifier has
+// rank ≤ |EventuallyUp|.
 func CheckAliveList(g *GroundTruth, pr *Probe[[]ident.ID]) (Result, error) {
-	correct := g.Correct()
-	for _, p := range correct {
+	up := g.EventuallyUp()
+	for _, p := range up {
 		alive, ok := pr.Last(p)
 		if !ok {
-			return Result{}, fmt.Errorf("𝔈 liveness: correct process %d produced no output", p)
+			return Result{}, fmt.Errorf("𝔈 liveness: eventually-up process %d produced no output", p)
 		}
-		for _, q := range correct {
+		for _, q := range up {
 			r := Rank(g.IDs[q], alive)
-			if r == 0 || r > len(correct) {
-				return Result{}, fmt.Errorf("𝔈 liveness: at process %d, rank(%s) = %d > |Correct| = %d (alive=%v)",
-					p, g.IDs[q], r, len(correct), alive)
+			if r == 0 || r > len(up) {
+				return Result{}, fmt.Errorf("𝔈 liveness: at process %d, rank(%s) = %d > |EventuallyUp| = %d (alive=%v)",
+					p, g.IDs[q], r, len(up), alive)
 			}
 		}
 	}
@@ -144,14 +153,14 @@ func CheckAP(g *GroundTruth, pr *Probe[int]) (Result, error) {
 			}
 		}
 	}
-	want := len(g.Correct())
-	for _, p := range g.Correct() {
+	want := len(g.EventuallyUp())
+	for _, p := range g.EventuallyUp() {
 		got, ok := pr.Last(p)
 		if !ok {
-			return Result{}, fmt.Errorf("AP liveness: correct process %d produced no output", p)
+			return Result{}, fmt.Errorf("AP liveness: eventually-up process %d produced no output", p)
 		}
 		if got != want {
-			return Result{}, fmt.Errorf("AP liveness: process %d converged to %d, want |Correct| = %d", p, got, want)
+			return Result{}, fmt.Errorf("AP liveness: process %d converged to %d, want |EventuallyUp| = %d", p, got, want)
 		}
 	}
 	return Result{StabilizationTime: stabilization(g, pr)}, nil
@@ -161,40 +170,41 @@ func CheckAP(g *GroundTruth, pr *Probe[int]) (Result, error) {
 // process's Boolean is true.
 func CheckAOmega(g *GroundTruth, pr *Probe[bool]) (Result, error) {
 	leaders := 0
-	for _, p := range g.Correct() {
+	for _, p := range g.EventuallyUp() {
 		v, ok := pr.Last(p)
 		if !ok {
-			return Result{}, fmt.Errorf("AΩ election: correct process %d produced no output", p)
+			return Result{}, fmt.Errorf("AΩ election: eventually-up process %d produced no output", p)
 		}
 		if v {
 			leaders++
 		}
 	}
 	if leaders != 1 {
-		return Result{}, fmt.Errorf("AΩ election: %d correct processes consider themselves leader, want exactly 1", leaders)
+		return Result{}, fmt.Errorf("AΩ election: %d eventually-up processes consider themselves leader, want exactly 1", leaders)
 	}
 	return Result{StabilizationTime: stabilization(g, pr)}, nil
 }
 
-// CheckOmega verifies the classical Ω: all correct processes' final leader
-// is one common identifier of a correct process.
+// CheckOmega verifies the classical Ω, restated over the eventually-up set
+// (= Correct in crash-stop): all eventually-up processes' final leader is
+// one common identifier of an eventually-up process.
 func CheckOmega(g *GroundTruth, pr *Probe[ident.ID]) (Result, error) {
-	correct := g.Correct()
-	if len(correct) == 0 {
+	up := g.EventuallyUp()
+	if len(up) == 0 {
 		return Result{}, nil
 	}
-	first, ok := pr.Last(correct[0])
+	first, ok := pr.Last(up[0])
 	if !ok {
-		return Result{}, fmt.Errorf("Ω election: correct process %d produced no output", correct[0])
+		return Result{}, fmt.Errorf("Ω election: eventually-up process %d produced no output", up[0])
 	}
-	for _, p := range correct[1:] {
+	for _, p := range up[1:] {
 		got, ok := pr.Last(p)
 		if !ok || got != first {
-			return Result{}, fmt.Errorf("Ω election: process %d has leader %v, process %d has %v", correct[0], first, p, got)
+			return Result{}, fmt.Errorf("Ω election: process %d has leader %v, process %d has %v", up[0], first, p, got)
 		}
 	}
-	if !g.CorrectIDs().Contains(first) {
-		return Result{}, fmt.Errorf("Ω election: leader %s is not a correct process", first)
+	if !g.EventuallyUpIDs().Contains(first) {
+		return Result{}, fmt.Errorf("Ω election: leader %s is not an eventually-up process", first)
 	}
 	return Result{StabilizationTime: stabilization(g, pr)}, nil
 }

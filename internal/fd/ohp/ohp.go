@@ -53,16 +53,25 @@ type Reply struct {
 // MsgTag implements sim.Tagger.
 func (Reply) MsgTag() string { return "P_REPLY" }
 
-const timerRound = 0
-
 // Detector is the per-process Figure 6 instance. It implements
-// sim.Process, fd.DiamondHPbar and fd.HOmega.
+// sim.Process, sim.Recoverer, fd.DiamondHPbar and fd.HOmega.
 type Detector struct {
 	env     sim.Environment
 	round   int
 	timeout sim.Time
 	trusted *multiset.Multiset[ident.ID]
 	hasOut  bool
+
+	// epoch is carried as the round timer's tag. An outage can strand a
+	// pre-crash timer that fires only after recovery; bumping the epoch on
+	// recovery makes such stale timers recognizable, so the restarted
+	// polling loop is the only live timer chain (never two in parallel).
+	epoch int
+	// resync, set on recovery, allows one round fast-forward: a homonym
+	// that kept polling during our outage has moved the responders'
+	// per-identifier reply cursor past our round, and rounds below it can
+	// never gather a full reply set again.
+	resync bool
 
 	// leaderFor/leader memoize the HΩ extraction for the current trusted
 	// value (see Leader).
@@ -85,6 +94,7 @@ type Detector struct {
 
 var (
 	_ sim.Process     = (*Detector)(nil)
+	_ sim.Recoverer   = (*Detector)(nil)
 	_ fd.DiamondHPbar = (*Detector)(nil)
 	_ fd.HOmega       = (*Detector)(nil)
 )
@@ -119,7 +129,21 @@ func NewFixedTimeout(timeout sim.Time) *Detector {
 func (d *Detector) Init(env sim.Environment) {
 	d.env = env
 	env.Broadcast(Polling{Round: d.round, ID: env.ID()})
-	env.SetTimer(d.timeout, timerRound)
+	env.SetTimer(d.timeout, d.epoch)
+}
+
+// OnRecover implements sim.Recoverer: restart the polling loop after an
+// outage. The round counter keeps advancing (peers answer each identifier
+// round at most once, so reusing a pre-crash round number would lose
+// replies), and the timer epoch is bumped so a timer stranded across the
+// outage cannot double the polling rate.
+func (d *Detector) OnRecover() {
+	d.epoch++
+	d.round++
+	d.resync = true
+	d.pending = d.pending[:0]
+	d.env.Broadcast(Polling{Round: d.round, ID: d.env.ID()})
+	d.env.SetTimer(d.timeout, d.epoch)
 }
 
 // OnTimer implements sim.Process: close the current round (gather
@@ -127,7 +151,10 @@ func (d *Detector) Init(env sim.Environment) {
 // the previous output the old value is kept, so h_trusted is
 // pointer-stable across unchanged rounds and probes can compare samples
 // with a pointer check.
-func (d *Detector) OnTimer(int) {
+func (d *Detector) OnTimer(tag int) {
+	if tag != d.epoch {
+		return // stale pre-outage timer
+	}
 	tmp := multiset.New[ident.ID]()
 	for _, rep := range d.pending {
 		if rep.From <= d.round && d.round <= rep.To {
@@ -150,7 +177,7 @@ func (d *Detector) OnTimer(int) {
 	d.pending = kept
 
 	d.env.Broadcast(Polling{Round: d.round, ID: d.env.ID()})
-	d.env.SetTimer(d.timeout, timerRound)
+	d.env.SetTimer(d.timeout, d.epoch)
 }
 
 // OnMessage implements sim.Process (Task T2 and timeout adaptation).
@@ -189,6 +216,14 @@ func (d *Detector) onReply(m Reply) {
 		d.timeout++
 	}
 	if m.To >= d.round {
+		if d.resync && m.From > d.round {
+			// Post-outage catch-up: a faster homonym polled past us while
+			// we were down, so the responders answer our identifier only
+			// from round m.From on — rounds below it can never gather a
+			// full reply set. Jump once to the covered interval.
+			d.round = m.From
+			d.resync = false
+		}
 		d.pending = append(d.pending, m)
 	}
 }

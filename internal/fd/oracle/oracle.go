@@ -47,11 +47,11 @@ func NewWorld(truth *fd.GroundTruth, stabilize sim.Time) *World {
 	w := &World{Truth: truth, Stabilize: stabilize}
 	w.allIDs = truth.IDs.I()
 	w.quoraAll = []fd.QuorumPair{{Label: "all", M: w.allIDs}}
-	w.quoraStable = append(w.quoraAll[:1:1], fd.QuorumPair{Label: "corr", M: truth.CorrectIDs()})
+	w.quoraStable = append(w.quoraAll[:1:1], fd.QuorumPair{Label: "corr", M: truth.EventuallyUpIDs()})
 	w.labelsAll = []fd.Label{"all"}
 	w.labelsStable = append(w.labelsAll[:1:1], "corr")
 	w.asigmaAll = []fd.APair{{Label: "all", Y: truth.IDs.N()}}
-	w.asigmaStable = append(w.asigmaAll[:1:1], fd.APair{Label: "corr", Y: len(truth.Correct())})
+	w.asigmaStable = append(w.asigmaAll[:1:1], fd.APair{Label: "corr", Y: len(truth.EventuallyUp())})
 	return w
 }
 
@@ -147,7 +147,7 @@ func (o *DiamondHPbar) OnTimer(int) {}
 func (o *DiamondHPbar) Trusted() *multiset.Multiset[ident.ID] {
 	now := o.env.Now()
 	if o.w.stable(now) {
-		return o.w.Truth.CorrectIDs()
+		return o.w.Truth.EventuallyUpIDs()
 	}
 	if o.pre == nil || o.preAt != now {
 		m := multiset.New[ident.ID]()
@@ -220,7 +220,7 @@ func (o *Sigma) OnTimer(int) {}
 // must not be mutated.
 func (o *Sigma) TrustedQuorum() *multiset.Multiset[ident.ID] {
 	if o.w.stable(o.env.Now()) {
-		return o.w.Truth.CorrectIDs()
+		return o.w.Truth.EventuallyUpIDs()
 	}
 	return o.w.allIDs
 }
@@ -291,7 +291,7 @@ func (o *HSigma) Quora() []fd.QuorumPair {
 // correct ones (and crashed ones too — membership of S(x) may include
 // faulty processes) participate in "corr" once stable.
 func (o *HSigma) Labels() []fd.Label {
-	if o.w.stable(o.env.Now()) && o.w.Truth.IsCorrect(o.env.PID()) {
+	if o.w.stable(o.env.Now()) && o.w.Truth.IsEventuallyUp(o.env.PID()) {
 		return o.w.labelsStable
 	}
 	return o.w.labelsAll
@@ -330,6 +330,6 @@ func (o *AOmega) IsLeader() bool {
 			return true // everyone believes they lead
 		}
 	}
-	correct := o.w.Truth.Correct()
-	return len(correct) > 0 && correct[0] == o.env.PID()
+	up := o.w.Truth.EventuallyUp()
+	return len(up) > 0 && up[0] == o.env.PID()
 }

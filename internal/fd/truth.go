@@ -1,64 +1,151 @@
 package fd
 
 import (
+	"math"
+	"sort"
+
 	"repro/internal/ident"
 	"repro/internal/multiset"
 	"repro/internal/sim"
 )
 
-// GroundTruth is the omniscient view of one execution's fault pattern,
-// available to checkers and oracles but never to algorithms. CrashTimes
-// holds the virtual time of each crash that occurred; processes absent
-// from it are correct.
-//
-// The fault pattern is fixed for the whole execution, so the derived views
-// (Correct, CorrectIDs, ExpectedLeader) are computed once and shared:
-// callers must treat the returned slices and multisets as read-only.
-type GroundTruth struct {
-	IDs        ident.Assignment
-	CrashTimes map[sim.PID]sim.Time
+// Forever marks a down interval that never ends (a crash-stop crash).
+const Forever = sim.Time(math.MaxInt64)
 
-	correct    []sim.PID
-	correctIDs *multiset.Multiset[ident.ID]
-	leader     LeaderInfo
-	leaderOK   bool
+// Interval is one outage [From, To): the process is down at exactly the
+// times t with From <= t < To. To = Forever means the process never
+// recovers.
+type Interval struct {
+	From, To sim.Time
 }
 
-// NewGroundTruth builds a ground truth for the assignment with the given
-// crash schedule.
+// GroundTruth is the omniscient view of one execution's fault pattern,
+// available to checkers and oracles but never to algorithms. The pattern
+// is a set of down intervals per process; crash-stop is the special case
+// where every interval extends to Forever.
+//
+// Two process sets derive from the pattern:
+//
+//   - Correct: processes that never crash ("correct = never crashes", the
+//     paper's crash-stop reading). Consensus Termination quantifies over
+//     this set.
+//   - EventuallyUp: processes that are up from some point on — Correct
+//     plus the churners whose last outage ends. Failure-detector class
+//     properties under crash-recovery are stated relative to this set (a
+//     detector can only converge to what is eventually permanently up);
+//     in crash-stop executions it equals Correct.
+//
+// The fault pattern is fixed for the whole execution, so the derived views
+// are computed once and shared: callers must treat the returned slices and
+// multisets as read-only.
+type GroundTruth struct {
+	IDs ident.Assignment
+	// CrashTimes holds the first crash time of each process that crashes
+	// at least once; processes absent from it are correct.
+	CrashTimes map[sim.PID]sim.Time
+	// Down holds each process's outage intervals, sorted by From.
+	Down map[sim.PID][]Interval
+
+	correct      []sim.PID
+	eventuallyUp []sim.PID
+	correctIDs   *multiset.Multiset[ident.ID]
+	euIDs        *multiset.Multiset[ident.ID]
+	leader       LeaderInfo
+	leaderOK     bool
+}
+
+// NewGroundTruth builds a crash-stop ground truth for the assignment with
+// the given crash schedule: every crash is final.
 func NewGroundTruth(ids ident.Assignment, crashTimes map[sim.PID]sim.Time) *GroundTruth {
-	ct := make(map[sim.PID]sim.Time, len(crashTimes))
+	down := make(map[sim.PID][]Interval, len(crashTimes))
 	for p, t := range crashTimes {
-		ct[p] = t
+		down[p] = []Interval{{From: t, To: Forever}}
 	}
-	g := &GroundTruth{IDs: ids, CrashTimes: ct}
+	return newGroundTruth(ids, down)
+}
+
+// NewGroundTruthFromChurn builds a crash-recovery ground truth from the
+// same schedule the engine executes (sim.ChurnSpec.Events, or a hand-built
+// slice of crash/recover entries). A recover entry for an up process is
+// ignored and consecutive crashes merge, mirroring the engine's semantics.
+func NewGroundTruthFromChurn(ids ident.Assignment, evs []sim.ChurnEvent) *GroundTruth {
+	byProc := make(map[sim.PID][]sim.ChurnEvent)
+	for _, ev := range evs {
+		byProc[ev.P] = append(byProc[ev.P], ev)
+	}
+	down := make(map[sim.PID][]Interval, len(byProc))
+	for p, pevs := range byProc {
+		sort.SliceStable(pevs, func(i, j int) bool { return pevs[i].At < pevs[j].At })
+		var ivs []Interval
+		open := false
+		for _, ev := range pevs {
+			switch {
+			case !ev.Recover && !open:
+				ivs = append(ivs, Interval{From: ev.At, To: Forever})
+				open = true
+			case ev.Recover && open:
+				ivs[len(ivs)-1].To = ev.At
+				open = false
+			}
+		}
+		// A recover at the same instant as the crash leaves a zero-length
+		// interval [t, t). It is kept: the crash DID happen (the engine's
+		// sticky everCrashed excludes the process from CorrectSet, and so
+		// must the truth), even though no AliveAt sample can observe the
+		// outage (From <= t < To never holds for an empty interval).
+		if len(ivs) > 0 {
+			down[p] = ivs
+		}
+	}
+	return newGroundTruth(ids, down)
+}
+
+func newGroundTruth(ids ident.Assignment, down map[sim.PID][]Interval) *GroundTruth {
+	g := &GroundTruth{
+		IDs:        ids,
+		CrashTimes: make(map[sim.PID]sim.Time, len(down)),
+		Down:       down,
+	}
+	for p, ivs := range down {
+		g.CrashTimes[p] = ivs[0].From
+	}
 	g.derive()
 	return g
 }
 
-// derive precomputes the execution-constant views; it runs once from
-// NewGroundTruth, the only constructor.
+// derive precomputes the execution-constant views; it runs once from the
+// constructors.
 func (g *GroundTruth) derive() {
 	g.correct = g.correct[:0]
+	g.eventuallyUp = g.eventuallyUp[:0]
 	for p := 0; p < g.IDs.N(); p++ {
-		if _, crashed := g.CrashTimes[sim.PID(p)]; !crashed {
+		ivs := g.Down[sim.PID(p)]
+		if len(ivs) == 0 {
 			g.correct = append(g.correct, sim.PID(p))
+			g.eventuallyUp = append(g.eventuallyUp, sim.PID(p))
+			continue
+		}
+		if ivs[len(ivs)-1].To != Forever {
+			g.eventuallyUp = append(g.eventuallyUp, sim.PID(p))
 		}
 	}
-	m := multiset.New[ident.ID]()
+	g.correctIDs = multiset.New[ident.ID]()
 	for _, p := range g.correct {
-		m.Add(g.IDs[p])
+		g.correctIDs.Add(g.IDs[p])
 	}
-	g.correctIDs = m
-	if id, ok := m.Min(); ok {
-		g.leader, g.leaderOK = LeaderInfo{ID: id, Multiplicity: m.Count(id)}, true
+	g.euIDs = multiset.New[ident.ID]()
+	for _, p := range g.eventuallyUp {
+		g.euIDs.Add(g.IDs[p])
+	}
+	if id, ok := g.euIDs.Min(); ok {
+		g.leader, g.leaderOK = LeaderInfo{ID: id, Multiplicity: g.euIDs.Count(id)}, true
 	} else {
 		g.leader, g.leaderOK = LeaderInfo{}, false
 	}
 }
 
-// Correct returns the indexes of correct processes. The slice is shared;
-// callers must not mutate it.
+// Correct returns the indexes of processes that never crash. The slice is
+// shared; callers must not mutate it.
 func (g *GroundTruth) Correct() []sim.PID {
 	if len(g.correct) == 0 {
 		return nil
@@ -66,20 +153,45 @@ func (g *GroundTruth) Correct() []sim.PID {
 	return g.correct
 }
 
-// IsCorrect reports whether p never crashes in this execution.
-func (g *GroundTruth) IsCorrect(p sim.PID) bool {
-	_, crashed := g.CrashTimes[p]
-	return !crashed
+// EventuallyUp returns the indexes of processes that are up from some
+// point on (Correct plus recovered churners). The slice is shared; callers
+// must not mutate it.
+func (g *GroundTruth) EventuallyUp() []sim.PID {
+	if len(g.eventuallyUp) == 0 {
+		return nil
+	}
+	return g.eventuallyUp
 }
 
-// AliveAt returns the processes alive at time t (crashed strictly before t
-// are dead; a process crashing at t is counted as dead at t, matching the
-// simulator, which processes crashes before deliveries at equal times only
-// by sequence order — checkers use it with ±1 slack).
+// IsCorrect reports whether p never crashes in this execution.
+func (g *GroundTruth) IsCorrect(p sim.PID) bool {
+	return len(g.Down[p]) == 0
+}
+
+// IsEventuallyUp reports whether p is up from some point on.
+func (g *GroundTruth) IsEventuallyUp(p sim.PID) bool {
+	ivs := g.Down[p]
+	return len(ivs) == 0 || ivs[len(ivs)-1].To != Forever
+}
+
+// downAt reports whether p is down at time t. A process crashing at t is
+// down at exactly t (matching the simulator, which processes crashes
+// before deliveries at equal times only by sequence order — checkers use
+// it with ±1 slack); a process recovering at t is up at t.
+func (g *GroundTruth) downAt(p sim.PID, t sim.Time) bool {
+	for _, iv := range g.Down[p] {
+		if iv.From <= t && t < iv.To {
+			return true
+		}
+	}
+	return false
+}
+
+// AliveAt returns the processes alive at time t.
 func (g *GroundTruth) AliveAt(t sim.Time) []sim.PID {
 	var out []sim.PID
 	for p := 0; p < g.IDs.N(); p++ {
-		if ct, crashed := g.CrashTimes[sim.PID(p)]; !crashed || ct > t {
+		if !g.downAt(sim.PID(p), t) {
 			out = append(out, sim.PID(p))
 		}
 	}
@@ -89,8 +201,8 @@ func (g *GroundTruth) AliveAt(t sim.Time) []sim.PID {
 // AliveCountAt returns |AliveAt(t)| without building the slice.
 func (g *GroundTruth) AliveCountAt(t sim.Time) int {
 	n := g.IDs.N()
-	for _, ct := range g.CrashTimes {
-		if ct <= t {
+	for p := range g.Down {
+		if g.downAt(p, t) {
 			n--
 		}
 	}
@@ -103,21 +215,61 @@ func (g *GroundTruth) CorrectIDs() *multiset.Multiset[ident.ID] {
 	return g.correctIDs
 }
 
+// EventuallyUpIDs returns I(EventuallyUp) as a multiset — the target every
+// heartbeat-driven detector converges to under churn. The multiset is
+// shared; callers must not mutate it.
+func (g *GroundTruth) EventuallyUpIDs() *multiset.Multiset[ident.ID] {
+	return g.euIDs
+}
+
 // LastCrashTime returns the time of the last crash (0 if none).
 func (g *GroundTruth) LastCrashTime() sim.Time {
 	var last sim.Time
-	for _, t := range g.CrashTimes {
-		if t > last {
-			last = t
+	for _, ivs := range g.Down {
+		for _, iv := range ivs {
+			if iv.From > last {
+				last = iv.From
+			}
 		}
 	}
 	return last
 }
 
+// LastChange returns the time of the last fault-pattern change — the final
+// crash or recovery (0 if none). Detector outputs cannot stabilize before
+// it; churn checkers use it as the re-stabilization baseline.
+func (g *GroundTruth) LastChange() sim.Time {
+	var last sim.Time
+	for _, ivs := range g.Down {
+		for _, iv := range ivs {
+			if iv.From > last {
+				last = iv.From
+			}
+			if iv.To != Forever && iv.To > last {
+				last = iv.To
+			}
+		}
+	}
+	return last
+}
+
+// Recoveries returns the total number of recoveries in the pattern.
+func (g *GroundTruth) Recoveries() int {
+	n := 0
+	for _, ivs := range g.Down {
+		for _, iv := range ivs {
+			if iv.To != Forever {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // ExpectedLeader returns the stabilized HΩ output this repository's
-// detectors converge to: the smallest identifier among correct processes,
-// with its multiplicity in I(Correct). ok is false when no process is
-// correct.
+// detectors converge to: the smallest identifier among eventually-up
+// processes (= correct processes in crash-stop), with its multiplicity in
+// I(EventuallyUp). ok is false when no process is eventually up.
 func (g *GroundTruth) ExpectedLeader() (LeaderInfo, bool) {
 	return g.leader, g.leaderOK
 }

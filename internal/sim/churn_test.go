@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestChurnSpecEvents(t *testing.T) {
+	spec := ChurnSpec{Fraction: 0.5, Start: 10, Down: 5, Up: 20, Cycles: 2, Stagger: 3}
+	evs := spec.Events(4)
+	// 2 churners (0 and 2), 2 cycles each, crash+recover per cycle.
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want 8: %v", len(evs), evs)
+	}
+	want := []ChurnEvent{
+		{P: 0, At: 10}, {P: 0, At: 15, Recover: true},
+		{P: 0, At: 35}, {P: 0, At: 40, Recover: true},
+		{P: 2, At: 13}, {P: 2, At: 18, Recover: true},
+		{P: 2, At: 38}, {P: 2, At: 43, Recover: true},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("schedule mismatch:\n got %v\nwant %v", evs, want)
+	}
+	// Pure function: same spec, same schedule.
+	if !reflect.DeepEqual(spec.Events(4), evs) {
+		t.Fatal("schedule generation is not deterministic")
+	}
+}
+
+func TestChurnSpecFinalDown(t *testing.T) {
+	spec := ChurnSpec{Fraction: 1, Cycles: 2, FinalDown: true, Stagger: -1}
+	evs := spec.Events(1)
+	// crash, recover, crash — the last cycle omits the recovery.
+	if len(evs) != 3 || evs[2].Recover {
+		t.Fatalf("final-down schedule = %v, want trailing crash", evs)
+	}
+}
+
+func TestChurnSpecFractionBounds(t *testing.T) {
+	if got := (ChurnSpec{}).Churners(10); got != nil {
+		t.Fatalf("zero fraction churns %v", got)
+	}
+	if got := (ChurnSpec{Fraction: 0.01}).Churners(10); len(got) != 1 {
+		t.Fatalf("tiny fraction churns %v, want exactly one process", got)
+	}
+	if got := (ChurnSpec{Fraction: 5}).Churners(10); len(got) != 10 {
+		t.Fatalf("fraction > 1 churns %v, want all", got)
+	}
+}
+
+func TestApplyChurnMatchesEngineTruth(t *testing.T) {
+	spec := ChurnSpec{Fraction: 0.3, Start: 15, Down: 10, Up: 12, Cycles: 3}
+	eng, _ := newBeeperEngine(10, 17, nil)
+	evs := spec.Events(10)
+	eng.ApplyChurn(evs)
+
+	// The schedule's view of eventual state: every churner recovers last.
+	churners := spec.Churners(10)
+	eng.Run(400)
+	if eng.Stopped() != StopHorizon {
+		t.Fatalf("run ended %v, want horizon", eng.Stopped())
+	}
+	up := map[PID]bool{}
+	for _, p := range eng.EventuallyUpSet() {
+		up[p] = true
+	}
+	if len(up) != 10 {
+		t.Fatalf("EventuallyUpSet = %v, want all 10 (every cycle ends in recovery)", eng.EventuallyUpSet())
+	}
+	correct := map[PID]bool{}
+	for _, p := range eng.CorrectSet() {
+		correct[p] = true
+	}
+	for _, p := range churners {
+		if correct[p] {
+			t.Fatalf("churner %d in CorrectSet", p)
+		}
+	}
+	if len(correct) != 10-len(churners) {
+		t.Fatalf("CorrectSet size = %d, want %d", len(correct), 10-len(churners))
+	}
+	if eng.Recoveries() != len(churners)*3 {
+		t.Fatalf("Recoveries = %d, want %d", eng.Recoveries(), len(churners)*3)
+	}
+}
+
+func TestChurnedRunStaysDeterministic(t *testing.T) {
+	digest := func() (int, int, Time) {
+		eng, procs := newBeeperEngine(8, 23, nil)
+		eng.ApplyChurn(ChurnSpec{Fraction: 0.25, Cycles: 2}.Events(8))
+		eng.Run(250)
+		heard := 0
+		for _, p := range procs {
+			heard += p.heard
+		}
+		return eng.Processed(), heard, eng.Now()
+	}
+	p1, h1, t1 := digest()
+	p2, h2, t2 := digest()
+	if p1 != p2 || h1 != h2 || t1 != t2 {
+		t.Fatalf("churned runs diverged: (%d,%d,%d) vs (%d,%d,%d)", p1, h1, t1, p2, h2, t2)
+	}
+}
+
+func TestChurnSpecString(t *testing.T) {
+	s := ChurnSpec{Fraction: 0.2, Cycles: 2, Down: 25, Up: 30}.String()
+	if s == "" {
+		t.Fatal("empty churn description")
+	}
+}

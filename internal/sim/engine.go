@@ -38,6 +38,7 @@ const (
 	evDeliver eventKind = iota + 1
 	evTimer
 	evCrash
+	evRecover
 )
 
 // event is stored by value in the queue; scheduling one costs no heap
@@ -105,6 +106,57 @@ func (q eventQueue) down(i int) {
 	q[i] = ev
 }
 
+// StopReason reports why the most recent Run/RunUntil call returned.
+// Callers that must distinguish a quiescent execution from a truncated one
+// (the MaxEvents runaway guard) check Stopped after the run; experiment
+// drivers treat StopMaxEvents as an error.
+type StopReason int
+
+const (
+	// StopNone: the engine has not run yet.
+	StopNone StopReason = iota
+	// StopQuiescent: the event queue drained — nothing can ever happen
+	// again; the execution's suffix is silent.
+	StopQuiescent
+	// StopHorizon: the next event lies beyond the `until` horizon.
+	StopHorizon
+	// StopPredicate: the RunUntil early-exit predicate returned true.
+	StopPredicate
+	// StopMaxEvents: the MaxEvents runaway guard tripped — the run was
+	// truncated and its results must not be read as a complete execution.
+	StopMaxEvents
+)
+
+var stopNames = map[StopReason]string{
+	StopNone:      "not-run",
+	StopQuiescent: "quiescent",
+	StopHorizon:   "horizon",
+	StopPredicate: "predicate",
+	StopMaxEvents: "max-events",
+}
+
+// String returns the lowercase reason name.
+func (s StopReason) String() string {
+	if name, ok := stopNames[s]; ok {
+		return name
+	}
+	return fmt.Sprintf("stop(%d)", int(s))
+}
+
+// schedKey orders schedule entries for one process by (time, seq) — the
+// same total order the event queue pops in — so the engine can answer
+// "which of this process's crash/recover events fires last" without
+// rescanning the queue.
+type schedKey struct {
+	t   Time
+	seq int64
+	set bool
+}
+
+func (k schedKey) after(o schedKey) bool {
+	return k.t > o.t || (k.t == o.t && k.seq > o.seq)
+}
+
 // Engine runs one execution. Create it with New, attach processes with
 // AddProcess, optionally schedule crashes, then Run. Engines are not safe
 // for concurrent use; all determinism comes from the single event queue.
@@ -121,21 +173,46 @@ type Engine struct {
 	procs   []Process
 	envs    []*Env
 	crashed []bool
+	// everCrashed[p] is sticky: recovery clears crashed[p] but never this.
+	// CorrectSet ("correct = never crashes") keys off it.
+	everCrashed []bool
 	// pendingCrash[p] counts evCrash events for p still in the queue, so
 	// CorrectSet is O(n) instead of rescanning the queue per call.
 	pendingCrash []int
+	// lastCrash/lastRecover hold the (time, seq) of the latest scheduled or
+	// executed crash/recover per process; EventuallyUpSet compares them to
+	// decide a process's final state without rescanning the queue.
+	lastCrash   []schedKey
+	lastRecover []schedKey
 	// partialCrash[p], when set, makes p's next broadcast at or after the
 	// stored time partial: each copy is delivered independently with the
-	// stored probability, then p crashes.
+	// stored probability, then p crashes. Quiescence disarms unfired arms:
+	// a process that never broadcasts after `after` never crashes.
 	partialCrash []*partialCrash
 	afterEvent   []func(now Time, p PID)
 	processed    int
+	recoveries   int
 	started      bool
+	stopped      StopReason
+	// curSeq is the seq of the event being processed (-1 during start), so
+	// mid-event state changes (partial crashes) order correctly against
+	// scheduled events at the same instant.
+	curSeq int64
 }
 
 type partialCrash struct {
 	after       Time
 	deliverProb float64
+}
+
+// Recoverer is implemented by processes that restart activity after a
+// recovery — typically re-arming their timer chains, which break while the
+// process is down (timers that fire during downtime are dropped). The
+// engine calls OnRecover when an evRecover event revives the process;
+// processes that do not implement it simply resume receiving messages and
+// any still-pending timers.
+type Recoverer interface {
+	OnRecover()
 }
 
 // New builds an engine for the given configuration. It panics on an invalid
@@ -157,8 +234,12 @@ func New(cfg Config) *Engine {
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		rec:          cfg.Recorder,
 		crashed:      make([]bool, n),
+		everCrashed:  make([]bool, n),
 		pendingCrash: make([]int, n),
+		lastCrash:    make([]schedKey, n),
+		lastRecover:  make([]schedKey, n),
 		partialCrash: make([]*partialCrash, n),
+		curSeq:       -1,
 	}
 }
 
@@ -189,10 +270,34 @@ func (e *Engine) IDs() ident.Assignment { return e.ids }
 func (e *Engine) Now() Time { return e.now }
 
 // CrashAt schedules process p to crash at time t: from then on it takes no
-// steps, receives nothing, and its broadcasts are ignored.
+// steps, receives nothing, and its broadcasts are ignored (until a later
+// RecoverAt, if any). Times in the past are clamped to the current virtual
+// time — scheduling can never rewind the clock.
 func (e *Engine) CrashAt(p PID, t Time) {
+	if t < e.now {
+		t = e.now
+	}
 	e.pendingCrash[p]++
+	if k := (schedKey{t: t, seq: int64(e.seq), set: true}); k.after(e.lastCrash[p]) || !e.lastCrash[p].set {
+		e.lastCrash[p] = k
+	}
 	e.push(event{time: t, kind: evCrash, pid: p})
+}
+
+// RecoverAt schedules process p to recover at time t: if it is down at that
+// instant it resumes taking steps and receiving messages. State held in the
+// Process value survives the outage (crash = pause plus message loss);
+// messages delivered and timers fired while down are lost. Processes that
+// implement Recoverer get an OnRecover callback to restart their timer
+// chains. Times in the past are clamped to the current virtual time.
+func (e *Engine) RecoverAt(p PID, t Time) {
+	if t < e.now {
+		t = e.now
+	}
+	if k := (schedKey{t: t, seq: int64(e.seq), set: true}); k.after(e.lastRecover[p]) || !e.lastRecover[p].set {
+		e.lastRecover[p] = k
+	}
+	e.push(event{time: t, kind: evRecover, pid: p})
 }
 
 // CrashDuringBroadcast makes process p crash during its first broadcast at
@@ -203,17 +308,62 @@ func (e *Engine) CrashDuringBroadcast(p PID, after Time, deliverProb float64) {
 	e.partialCrash[p] = &partialCrash{after: after, deliverProb: deliverProb}
 }
 
-// Crashed reports whether p has crashed (so far).
+// Crashed reports whether p is down right now (crashed and not yet
+// recovered).
 func (e *Engine) Crashed(p PID) bool { return e.crashed[p] }
 
-// CorrectSet returns the indexes of processes with no crash scheduled or
-// executed — the ground truth Correct set, assuming all scheduled crashes
-// eventually fire. Checkers use it; algorithms cannot. Pending crashes are
-// tracked incrementally, so the call is O(n) regardless of queue depth.
+// EverCrashed reports whether p has crashed at least once, recovered or
+// not.
+func (e *Engine) EverCrashed(p PID) bool { return e.everCrashed[p] }
+
+// Recoveries returns the number of recover events executed so far.
+func (e *Engine) Recoveries() int { return e.recoveries }
+
+// correct reports whether p belongs to the ground-truth Correct set under
+// the paper's strict reading: p never crashes — no crash executed, none
+// scheduled, and no live CrashDuringBroadcast arm. An arm is live until it
+// fires or the run quiesces; a quiescent run can never broadcast again, so
+// an armed process that never broadcast after `after` never crashes and is
+// disarmed (and correct) from that point on.
+func (e *Engine) correct(p PID) bool {
+	return !e.everCrashed[p] && e.pendingCrash[p] == 0 && e.partialCrash[p] == nil
+}
+
+// CorrectSet returns the indexes of processes that never crash — the
+// ground truth Correct set, assuming all scheduled crashes eventually fire.
+// Checkers use it; algorithms cannot. Pending crashes are tracked
+// incrementally, so the call is O(n) regardless of queue depth. Under
+// crash-recovery schedules a process that crashes and recovers is NOT
+// correct in this strict sense; see EventuallyUpSet for the weaker class.
 func (e *Engine) CorrectSet() []PID {
 	var out []PID
 	for p := range e.crashed {
-		if !e.crashed[p] && e.pendingCrash[p] == 0 && e.partialCrash[p] == nil {
+		if e.correct(PID(p)) {
+			out = append(out, PID(p))
+		}
+	}
+	return out
+}
+
+// EventuallyUpSet returns the processes whose final state is up, assuming
+// all scheduled crash/recover events fire: the never-crashing processes
+// plus those whose latest recovery is scheduled after their latest crash.
+// In crash-stop executions it equals CorrectSet. Failure-detector classes
+// under churn are stated relative to this set — a detector can only
+// converge to the processes that are eventually permanently up.
+func (e *Engine) EventuallyUpSet() []PID {
+	var out []PID
+	for p := range e.crashed {
+		if e.correct(PID(p)) {
+			out = append(out, PID(p))
+			continue
+		}
+		if e.partialCrash[p] != nil {
+			// A live arm is a crash with an unknowable future time: it
+			// outranks any already-scheduled recovery.
+			continue
+		}
+		if e.lastRecover[p].set && e.lastRecover[p].after(e.lastCrash[p]) {
 			out = append(out, PID(p))
 		}
 	}
@@ -243,9 +393,15 @@ func (e *Engine) AfterEvent(f func(now Time, p PID)) {
 // Processed returns the number of events processed so far.
 func (e *Engine) Processed() int { return e.processed }
 
+// Stopped reports why the most recent Run/RunUntil call returned. Callers
+// must check for StopMaxEvents before trusting a run's results: the guard
+// silently truncates the execution, and a truncated run is
+// indistinguishable from a quiescent one by event count alone.
+func (e *Engine) Stopped() StopReason { return e.stopped }
+
 // Run processes events until the queue is empty, virtual time would exceed
 // `until`, or the MaxEvents guard trips. It returns the number of events
-// processed during this call.
+// processed during this call; Stopped reports which of the three ended it.
 func (e *Engine) Run(until Time) int {
 	return e.RunUntil(until, nil)
 }
@@ -255,14 +411,32 @@ func (e *Engine) Run(until Time) int {
 func (e *Engine) RunUntil(until Time, done func() bool) int {
 	e.start()
 	count := 0
-	for len(e.queue) > 0 && e.processed < e.cfg.MaxEvents {
+	e.stopped = StopQuiescent
+	for len(e.queue) > 0 {
+		if e.processed >= e.cfg.MaxEvents {
+			e.stopped = StopMaxEvents
+			break
+		}
 		if e.queue[0].time > until {
+			e.stopped = StopHorizon
 			break
 		}
 		e.step()
 		count++
 		if done != nil && done() {
+			e.stopped = StopPredicate
 			break
+		}
+	}
+	if e.stopped == StopQuiescent {
+		// Quiescence: no event will ever be processed again, so no process
+		// will ever broadcast again — unfired CrashDuringBroadcast arms can
+		// never fire. Disarm them: a process that never broadcasts after
+		// `after` never crashes, and belongs in the Correct set.
+		for p, pc := range e.partialCrash {
+			if pc != nil {
+				e.partialCrash[p] = nil
+			}
 		}
 	}
 	return count
@@ -291,14 +465,27 @@ func (e *Engine) start() {
 func (e *Engine) step() {
 	ev := e.pop()
 	e.now = ev.time
+	e.curSeq = int64(ev.seq)
 	e.processed++
 	switch ev.kind {
 	case evCrash:
 		e.pendingCrash[ev.pid]--
 		if !e.crashed[ev.pid] {
 			e.crashed[ev.pid] = true
+			e.everCrashed[ev.pid] = true
 			if e.rec != nil {
 				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(ev.pid)})
+			}
+		}
+	case evRecover:
+		if e.crashed[ev.pid] {
+			e.crashed[ev.pid] = false
+			e.recoveries++
+			if e.rec != nil {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindRecover, PID: int(ev.pid)})
+			}
+			if r, ok := e.procs[ev.pid].(Recoverer); ok {
+				r.OnRecover()
 			}
 		}
 	case evDeliver:
@@ -314,6 +501,12 @@ func (e *Engine) step() {
 		e.procs[ev.pid].OnMessage(ev.payload)
 	case evTimer:
 		if e.crashed[ev.pid] {
+			// A timer on a down process is dropped, exactly like a message
+			// copy — and, like one, it leaves a trace: silently vanishing
+			// timers made crash interleavings unreproducible from traces.
+			if e.rec != nil {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindTimerDrop, PID: int(ev.pid), Detail: "tag=" + strconv.Itoa(ev.tag)})
+			}
 			break
 		}
 		if e.rec != nil {
@@ -341,6 +534,7 @@ func (e *Engine) broadcast(from PID, payload any) {
 		tag = tagOf(payload)
 		e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindBroadcast, PID: int(from), MsgTag: tag})
 	}
+	lm, perLink := e.cfg.Net.(LinkModel)
 	for to := range e.procs {
 		if partial && e.rng.Float64() >= pc.deliverProb {
 			if e.rec != nil {
@@ -348,7 +542,13 @@ func (e *Engine) broadcast(from PID, payload any) {
 			}
 			continue
 		}
-		d, ok := e.cfg.Net.Delay(e.now, e.rng)
+		var d Time
+		var ok bool
+		if perLink {
+			d, ok = lm.LinkDelay(e.now, from, PID(to), e.rng)
+		} else {
+			d, ok = e.cfg.Net.Delay(e.now, e.rng)
+		}
 		if !ok {
 			if e.rec != nil {
 				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "lost"})
@@ -363,6 +563,14 @@ func (e *Engine) broadcast(from PID, payload any) {
 	if partial {
 		e.partialCrash[from] = nil
 		e.crashed[from] = true
+		e.everCrashed[from] = true
+		// The crash happens during the event being processed: key it by the
+		// current event's (time, seq) so recoveries scheduled at the same
+		// instant order against it exactly as the queue will pop them. A
+		// crash scheduled even later (CrashAt) keeps precedence.
+		if k := (schedKey{t: e.now, seq: e.curSeq, set: true}); k.after(e.lastCrash[from]) || !e.lastCrash[from].set {
+			e.lastCrash[from] = k
+		}
 		if e.rec != nil {
 			e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(from), Detail: "mid-broadcast"})
 		}
@@ -376,7 +584,13 @@ func (e *Engine) setTimer(p PID, d Time, tag int) {
 	e.push(event{time: e.now + d, kind: evTimer, pid: p, tag: tag})
 }
 
+// push enqueues an event, clamping its time to the present: virtual time is
+// monotone by construction, no matter how hostile a Model's delays or how
+// stale a crash/recover schedule is.
 func (e *Engine) push(ev event) {
+	if ev.time < e.now {
+		ev.time = e.now
+	}
 	ev.seq = e.seq
 	e.seq++
 	e.queue = append(e.queue, ev)

@@ -94,6 +94,17 @@ func (n *Node) OnMessage(payload any) {
 	n.pollAll()
 }
 
+// OnRecover implements Recoverer: it forwards the recovery to every module
+// that restarts after an outage, then re-polls guard conditions.
+func (n *Node) OnRecover() {
+	for _, m := range n.modules {
+		if r, ok := m.proc.(Recoverer); ok {
+			r.OnRecover()
+		}
+	}
+	n.pollAll()
+}
+
 // OnTimer implements Process, demultiplexing the namespaced timer tag.
 func (n *Node) OnTimer(tag int) {
 	k := len(n.modules)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"reflect"
+	"strings"
 	"testing"
 
 	hds "repro"
@@ -189,6 +190,59 @@ func (p *pollster) OnMessage(any) {}
 func (p *pollster) OnTimer(tag int) {
 	p.env.Broadcast(ping{})
 	p.env.SetTimer(5, tag)
+}
+
+// TestChurnHeavyTailSweepDeterminism pins the determinism contract on the
+// new workload families: crash-recovery churn (with OnRecover callbacks
+// and timer epochs), truncated heavy-tailed delays, and an n=1000 engine —
+// swept serially and in parallel, the digests must match byte for byte.
+func TestChurnHeavyTailSweepDeterminism(t *testing.T) {
+	scenarios := []func() string{
+		func() string { // Figure 6 detector under churn
+			res, err := hds.RunChurnOHP(hds.ChurnOHPExperiment{
+				IDs:   ident.Balanced(12, 4),
+				Churn: hds.ChurnSpec{Fraction: 0.25, Cycles: 2, Start: 30, Down: 40, Up: 60, Stagger: 7},
+				Seed:  1, Horizon: 2000,
+			})
+			return fmt.Sprintf("churn-ohp %+v %v", res, err)
+		},
+		func() string { // heavy-tailed delays under the same detector
+			res, err := hds.RunOHP(hds.OHPExperiment{
+				IDs:     ident.Balanced(6, 3),
+				Crashes: map[hds.PID]hds.Time{1: 30},
+				Net:     sim.Pareto{Scale: 2, Alpha: 1.5, Cap: 15},
+				Seed:    2, Horizon: 12000,
+			})
+			return fmt.Sprintf("pareto-ohp %d %d %d %v", res.TrustedStabilization,
+				res.LeaderStabilization, res.Stats.Broadcasts, err)
+		},
+		func() string { // n=1000: churn + heavy tail on the heartbeat engine
+			res, err := hds.RunHeartbeatChurn(hds.HeartbeatExperiment{
+				IDs:   ident.Balanced(1000, 50),
+				Churn: hds.ChurnSpec{Fraction: 0.2, Cycles: 1, Start: 5, Down: 10},
+				Net:   sim.Pareto{Scale: 1, Alpha: 1.3, Cap: 40},
+				Seed:  3, Period: 12, Horizon: 24, MaxEvents: 20_000_000,
+			})
+			return fmt.Sprintf("hb-1000 %+v %v", res, err)
+		},
+	}
+	run := func(workers int) []string {
+		return sweep.MapOpt(sweep.Options{Workers: workers}, scenarios, func(_ int, f func() string) string {
+			return f()
+		})
+	}
+	serial := run(1)
+	for _, d := range serial {
+		// Every digest ends with the scenario's error, "%v"-formatted.
+		if !strings.HasSuffix(d, "<nil>") {
+			t.Fatalf("scenario failed: %s", d)
+		}
+	}
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: digests diverged\n got %v\nwant %v", workers, got, serial)
+		}
+	}
 }
 
 // TestExperimentTablesIdenticalAcrossWorkerCounts builds a representative

@@ -25,6 +25,12 @@ const (
 	KindDecide
 	KindFDChange
 	KindNote
+	// KindRecover marks a crashed process resuming (crash-recovery model).
+	KindRecover
+	// KindTimerDrop marks a timer that expired on a down process. It is the
+	// timer analogue of KindDrop: without it, crash interleavings involving
+	// timers were unreconstructable from traces.
+	KindTimerDrop
 )
 
 var kindNames = map[Kind]string{
@@ -36,6 +42,8 @@ var kindNames = map[Kind]string{
 	KindDecide:    "decide",
 	KindFDChange:  "fd-change",
 	KindNote:      "note",
+	KindRecover:   "recover",
+	KindTimerDrop: "timer-drop",
 }
 
 // String returns the lowercase event-kind name.
@@ -70,7 +78,9 @@ type Stats struct {
 	Delivered  int
 	Dropped    int
 	Crashes    int
+	Recoveries int
 	Timers     int
+	TimerDrops int
 	Decisions  int
 	ByTag      map[string]int // broadcasts per message tag
 }
@@ -111,8 +121,12 @@ func (r *Recorder) Record(e Event) {
 		r.stats.Dropped++
 	case KindCrash:
 		r.stats.Crashes++
+	case KindRecover:
+		r.stats.Recoveries++
 	case KindTimer:
 		r.stats.Timers++
+	case KindTimerDrop:
+		r.stats.TimerDrops++
 	case KindDecide:
 		r.stats.Decisions++
 	}
