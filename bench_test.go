@@ -17,10 +17,13 @@ import (
 
 // benchTable runs one experiment table builder per iteration and fails the
 // bench if any row reports a verification failure.
-func benchTable(b *testing.B, build func() experiments.Table) {
+func benchTable(b *testing.B, build func() (experiments.Table, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		t := build()
+		t, err := build()
+		if err != nil {
+			b.Fatalf("%s: %v", t.ID, err)
+		}
 		for _, row := range t.Rows {
 			for _, cell := range row {
 				if len(cell) > 0 && cell[0] == 0xE2 && cell[1] == 0x9C && cell[2] == 0x97 { // "✗"
@@ -222,7 +225,10 @@ func BenchmarkE16_TimeoutAdaptation(b *testing.B) {
 	// E16 contains an intentionally failing ablated variant; validate only
 	// that the adaptive rows hold the class.
 	for i := 0; i < b.N; i++ {
-		t := experiments.E16TimeoutAdaptation()
+		t, err := experiments.E16TimeoutAdaptation()
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, row := range t.Rows {
 			if row[0] == "adaptive (paper)" && row[2] != "yes" {
 				b.Fatalf("adaptive variant failed: %v", row)

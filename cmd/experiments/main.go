@@ -3,13 +3,27 @@
 // deterministic markdown; redirect it to refresh the file:
 //
 //	go run ./cmd/experiments > EXPERIMENTS_tables.md
+//
+// Campaigns shard: -shards N splits every selected table's scenario list
+// into N deterministic batches. With -shard k only that batch runs and
+// its checkpoint is written to -checkpoint-dir (multi-process fan-out:
+// one process per shard, any machine order); a final -resume run verifies
+// the existing checkpoints, re-runs exactly the missing or damaged ones,
+// and merges — byte-identical to a single-process run by the campaign
+// determinism contract:
+//
+//	go run ./cmd/experiments -only E18 -shards 4 -shard 0 -checkpoint-dir ckpt   # × 4, in parallel
+//	go run ./cmd/experiments -only E18 -shards 4 -checkpoint-dir ckpt -resume    # verify + merge
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/sweep"
 )
@@ -17,17 +31,30 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E6,E9); default all")
 	workers := flag.Int("workers", 0, "scenario parallelism (0 = all cores, 1 = serial); output is identical either way")
+	campaignCfg := cliutil.CampaignFlags(flag.CommandLine)
 	flag.Parse()
 	sweep.SetDefaultWorkers(*workers)
 
-	want := map[string]bool{}
+	cfg, err := campaignCfg()
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.SetCampaign(cfg)
+
+	var ids []string
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	for _, table := range experiments.All() {
-		if len(want) > 0 && !want[table.ID] {
+	tables, err := experiments.Tables(ids)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, table := range tables {
+		if table.Partial {
+			fmt.Fprintf(os.Stderr, "%s: shard %d/%d checkpointed in %s (no table output; merge with -resume)\n",
+				table.ID, cfg.Shard, cfg.Shards, cfg.Dir)
 			continue
 		}
 		fmt.Println(table.Markdown())

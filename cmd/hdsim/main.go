@@ -22,14 +22,23 @@
 // for any -workers value), and per-seed rows plus aggregates are printed:
 //
 //	go run ./cmd/hdsim -algo fig8 -n 7 -l 3 -t 3 -crashes 1:30 -seeds 64
+//
+// Seed sweeps are campaigns: -shards/-shard/-checkpoint-dir/-resume shard
+// the seed list into checkpointed batches exactly as in cmd/experiments,
+// so a large sweep can fan out across processes and resume after a kill:
+//
+//	go run ./cmd/hdsim -algo fig8 -seeds 64 -shards 4 -shard 2 -checkpoint-dir ckpt
+//	go run ./cmd/hdsim -algo fig8 -seeds 64 -shards 4 -checkpoint-dir ckpt -resume
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 
 	hds "repro"
+	"repro/internal/campaign"
 	"repro/internal/cliutil"
 	"repro/internal/fd/oracle"
 	"repro/internal/sim"
@@ -53,8 +62,17 @@ func main() {
 	gst := flag.Int64("gst", 0, "network GST (0 = fully asynchronous reliable)")
 	delta := flag.Int64("delta", 3, "post-GST latency bound")
 	horizon := flag.Int64("horizon", 0, "virtual-time horizon (0 = algorithm default)")
+	campaignFlags := cliutil.CampaignFlags(flag.CommandLine)
 	flag.Parse()
 	sweep.SetDefaultWorkers(*workers)
+
+	campaignCfg, err := campaignFlags()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seeds <= 1 && (campaignCfg.Shards > 1 || campaignCfg.Dir != "" || campaignCfg.Resume) {
+		log.Fatal("-shards/-shard/-checkpoint-dir/-resume apply to seed sweeps: set -seeds > 1")
+	}
 
 	sched, err := cliutil.ParseCrashes(*crashes)
 	if err != nil {
@@ -119,7 +137,12 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		runSweep(*algo, ids, *crashes, *seed, *seeds, runOne)
+		// Everything that defines the scenario goes into the fingerprint:
+		// checkpoints are only interchangeable between runs of the exact
+		// same scenario, and a digest alone cannot tell scenarios apart.
+		scenario := fmt.Sprintf("algo=%s ids=%v t=%d crashes=%s net=%s detectors=%s stabilize=%d adversary=%s horizon=%d",
+			*algo, ids, *t, *crashes, net, *detectors, *stabilize, *adversary, consensusHorizon)
+		runSweep(campaignCfg, *algo, ids, *crashes, scenario, *seed, *seeds, runOne)
 		return
 	}
 
@@ -189,55 +212,75 @@ func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PI
 	fmt.Printf("  broadcasts:       %d — %s\n", res.Stats.Broadcasts, cliutil.FormatTagCounts(res.Stats.ByTag))
 }
 
-// runSweep executes the scenario across consecutive seeds on the sweep
-// pool and prints per-seed rows plus min/mean/max aggregates.
-func runSweep(algo string, ids hds.Assignment, crashes string, first int64, k int, runOne func(int64) (hds.Report, hds.Stats, error)) {
-	fmt.Printf("algo=%s ids=%v crashes=%s seeds=%d..%d workers=%d\n",
-		algo, ids, crashes, first, first+int64(k)-1, sweep.DefaultWorkers())
-	type result struct {
-		rep   hds.Report
-		stats hds.Stats
-		err   error
-	}
-	seedList := make([]int64, k)
-	for i := range seedList {
-		seedList[i] = first + int64(i)
-	}
-	results := sweep.Map(seedList, func(_ int, s int64) result {
+// seedRow is one seed's result in a sweep campaign. It is flat and
+// JSON-lossless on purpose: rows round-trip through shard checkpoints, so
+// the campaign determinism contract requires exact encode/decode.
+type seedRow struct {
+	Seed       int64  `json:"seed"`
+	Rounds     int    `json:"rounds"`
+	Decided    int64  `json:"decided"` // virtual time of the last decision
+	Broadcasts int    `json:"broadcasts"`
+	Err        string `json:"err,omitempty"`
+}
+
+// runSweep executes the scenario across consecutive seeds through the
+// campaign layer (sharded/checkpointed/resumable when configured) and
+// prints per-seed rows plus min/mean/max aggregates. The campaign id
+// carries a hash of the full scenario fingerprint, so checkpoints from a
+// run with different flags (-crashes, -net, -gst, -t, …) never verify
+// against this campaign on -resume.
+func runSweep(cfg campaign.Config, algo string, ids hds.Assignment, crashes, scenario string, first int64, k int, runOne func(int64) (hds.Report, hds.Stats, error)) {
+	fp := fnv.New64a()
+	fp.Write([]byte(scenario))
+	id := fmt.Sprintf("hdsim-%s-n%d-l%d-seed%d-x%d-%016x", algo, ids.N(), ids.DistinctCount(), first, k, fp.Sum64())
+	res, err := campaign.Run(cfg, id, k, func(i int) seedRow {
+		s := first + int64(i)
 		rep, stats, err := runOne(s)
-		return result{rep, stats, err}
+		if err != nil {
+			return seedRow{Seed: s, Err: err.Error()}
+		}
+		return seedRow{Seed: s, Rounds: rep.MaxRound, Decided: int64(rep.LastDecision), Broadcasts: stats.Broadcasts}
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Complete {
+		fmt.Printf("campaign %s: shard %d/%d checkpointed in %s (merge with -resume)\n", id, cfg.Shard, cfg.Shards, cfg.Dir)
+		return
+	}
+	fmt.Printf("algo=%s ids=%v crashes=%s seeds=%d..%d workers=%d campaign=%s digest=%.12s\n",
+		algo, ids, crashes, first, first+int64(k)-1, sweep.DefaultWorkers(), id, res.Digest)
 
 	var (
 		failures                        int
-		minD, maxD, sumD                hds.Time
+		minD, maxD, sumD                int64
 		minRounds, maxRounds, sumRounds int
 		sumBcast                        int
 	)
 	minD, minRounds = -1, -1
-	for i, r := range results {
-		if r.err != nil {
+	for _, r := range res.Rows {
+		if r.Err != "" {
 			failures++
-			fmt.Printf("  seed=%-5d ✗ %v\n", seedList[i], r.err)
+			fmt.Printf("  seed=%-5d ✗ %v\n", r.Seed, r.Err)
 			continue
 		}
 		fmt.Printf("  seed=%-5d rounds=%-3d decided=t=%-8d broadcasts=%d\n",
-			seedList[i], r.rep.MaxRound, r.rep.LastDecision, r.stats.Broadcasts)
-		if minD < 0 || r.rep.LastDecision < minD {
-			minD = r.rep.LastDecision
+			r.Seed, r.Rounds, r.Decided, r.Broadcasts)
+		if minD < 0 || r.Decided < minD {
+			minD = r.Decided
 		}
-		if r.rep.LastDecision > maxD {
-			maxD = r.rep.LastDecision
+		if r.Decided > maxD {
+			maxD = r.Decided
 		}
-		sumD += r.rep.LastDecision
-		if minRounds < 0 || r.rep.MaxRound < minRounds {
-			minRounds = r.rep.MaxRound
+		sumD += r.Decided
+		if minRounds < 0 || r.Rounds < minRounds {
+			minRounds = r.Rounds
 		}
-		if r.rep.MaxRound > maxRounds {
-			maxRounds = r.rep.MaxRound
+		if r.Rounds > maxRounds {
+			maxRounds = r.Rounds
 		}
-		sumRounds += r.rep.MaxRound
-		sumBcast += r.stats.Broadcasts
+		sumRounds += r.Rounds
+		sumBcast += r.Broadcasts
 	}
 	okRuns := k - failures
 	if okRuns == 0 {

@@ -2,13 +2,40 @@
 package cliutil
 
 import (
+	"flag"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 )
+
+// CampaignFlags registers the campaign sharding flags (-shards, -shard,
+// -checkpoint-dir, -resume) on fs and returns a finalizer to call after
+// fs.Parse: it validates the combination and yields the campaign.Config.
+func CampaignFlags(fs *flag.FlagSet) func() (campaign.Config, error) {
+	shards := fs.Int("shards", 1, "split each campaign into this many deterministic shards")
+	shard := fs.Int("shard", -1, "run only this shard index (0-based) and write its checkpoint; -1 runs all shards")
+	dir := fs.String("checkpoint-dir", "", "directory for per-shard checkpoint files (empty = in-memory, no files)")
+	resume := fs.Bool("resume", false, "skip shards whose checkpoint in -checkpoint-dir already verifies; re-run the rest")
+	return func() (campaign.Config, error) {
+		if *shards < 1 {
+			return campaign.Config{}, fmt.Errorf("-shards %d: want at least 1", *shards)
+		}
+		if *shard < -1 || *shard >= *shards {
+			return campaign.Config{}, fmt.Errorf("-shard %d out of range (have %d shards; -1 runs all)", *shard, *shards)
+		}
+		if *shard >= 0 && *dir == "" {
+			return campaign.Config{}, fmt.Errorf("-shard %d requires -checkpoint-dir (the shard's output would be lost)", *shard)
+		}
+		if *resume && *dir == "" {
+			return campaign.Config{}, fmt.Errorf("-resume requires -checkpoint-dir")
+		}
+		return campaign.Config{Shards: *shards, Shard: *shard, Dir: *dir, Resume: *resume}, nil
+	}
+}
 
 // ParseCrashes parses a crash schedule of the form "pid:time[,pid:time...]"
 // (e.g. "1:30,4:120"). An empty or blank string yields an empty schedule.
@@ -75,11 +102,18 @@ func ParseNet(spec string) (sim.Model, error) {
 		}
 		return strconv.ParseFloat(args[i], 64)
 	}
+	// Every parameter is range-checked here: the sim models silently clamp
+	// out-of-range values to defaults, which would turn a typo like
+	// "async:-3" into a quietly different scenario instead of an error
+	// (mirroring ParseCrashes' negative checks).
 	switch name {
 	case "async":
 		max, err := num(0, 8)
 		if err != nil {
 			return nil, fmt.Errorf("bad async spec %q: %v", spec, err)
+		}
+		if max < 1 {
+			return nil, fmt.Errorf("bad async spec %q: maxDelay %d, want >= 1", spec, max)
 		}
 		return sim.Async{MaxDelay: max}, nil
 	case "psync":
@@ -88,11 +122,20 @@ func ParseNet(spec string) (sim.Model, error) {
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("bad psync spec %q (want psync:gst:delta)", spec)
 		}
+		if gst < 0 {
+			return nil, fmt.Errorf("bad psync spec %q: negative GST %d", spec, gst)
+		}
+		if delta < 1 {
+			return nil, fmt.Errorf("bad psync spec %q: delta %d, want >= 1", spec, delta)
+		}
 		return sim.PartialSync{GST: gst, Delta: delta}, nil
 	case "timely":
 		delta, err := num(0, 1)
 		if err != nil {
 			return nil, fmt.Errorf("bad timely spec %q: %v", spec, err)
+		}
+		if delta < 1 {
+			return nil, fmt.Errorf("bad timely spec %q: delta %d, want >= 1", spec, delta)
 		}
 		return sim.Timely{Delta: delta}, nil
 	case "pareto":
@@ -101,12 +144,24 @@ func ParseNet(spec string) (sim.Model, error) {
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("bad pareto spec %q (want pareto[:alpha[:cap]])", spec)
 		}
+		if alpha <= 0 {
+			return nil, fmt.Errorf("bad pareto spec %q: alpha %v, want > 0", spec, alpha)
+		}
+		if cap < 2 {
+			return nil, fmt.Errorf("bad pareto spec %q: cap %d, want >= the scale (2)", spec, cap)
+		}
 		return sim.Pareto{Scale: 2, Alpha: alpha, Cap: cap}, nil
 	case "lognormal":
 		sigma, err1 := fnum(0, 1)
 		cap, err2 := num(1, 15)
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("bad lognormal spec %q (want lognormal[:sigma[:cap]])", spec)
+		}
+		if sigma <= 0 {
+			return nil, fmt.Errorf("bad lognormal spec %q: sigma %v, want > 0", spec, sigma)
+		}
+		if cap < 1 {
+			return nil, fmt.Errorf("bad lognormal spec %q: cap %d, want >= 1", spec, cap)
 		}
 		return sim.LogNormal{Median: 3, Sigma: sigma, Cap: cap}, nil
 	case "alt":
@@ -115,11 +170,20 @@ func ParseNet(spec string) (sim.Model, error) {
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("bad alt spec %q (want alt[:period[:calmAfter]])", spec)
 		}
+		if period < 1 {
+			return nil, fmt.Errorf("bad alt spec %q: period %d, want >= 1", spec, period)
+		}
+		if calm < 0 {
+			return nil, fmt.Errorf("bad alt spec %q: negative calmAfter %d (0 oscillates forever)", spec, calm)
+		}
 		return sim.Alternating{Period: period, GoodDelta: 3, BadMax: 30, BadLoss: 0.3, CalmAfter: calm}, nil
 	case "asym":
 		skew, err := num(0, 10)
 		if err != nil {
 			return nil, fmt.Errorf("bad asym spec %q: %v", spec, err)
+		}
+		if skew < 1 {
+			return nil, fmt.Errorf("bad asym spec %q: maxSkew %d, want >= 1", spec, skew)
 		}
 		return sim.AsymmetricLinks{Base: sim.Async{MaxDelay: 6}, MaxSkew: skew}, nil
 	}

@@ -1,10 +1,49 @@
 package cliutil
 
 import (
+	"flag"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 )
+
+// TestCampaignFlags checks parse-and-validate of the sharding flag set.
+func TestCampaignFlags(t *testing.T) {
+	parse := func(args ...string) (campaign.Config, error) {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		finish := CampaignFlags(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("flag parse %v: %v", args, err)
+		}
+		return finish()
+	}
+
+	cfg, err := parse()
+	if err != nil || cfg != (campaign.Config{Shards: 1, Shard: -1}) {
+		t.Fatalf("default campaign config = %+v, %v", cfg, err)
+	}
+	cfg, err = parse("-shards", "4", "-shard", "2", "-checkpoint-dir", "/tmp/x")
+	if err != nil || cfg.Shards != 4 || cfg.Shard != 2 || cfg.Dir != "/tmp/x" {
+		t.Fatalf("shard-only config = %+v, %v", cfg, err)
+	}
+	cfg, err = parse("-shards", "4", "-checkpoint-dir", "/tmp/x", "-resume")
+	if err != nil || !cfg.Resume || cfg.Shard != -1 {
+		t.Fatalf("resume config = %+v, %v", cfg, err)
+	}
+	for _, bad := range [][]string{
+		{"-shards", "0"},
+		{"-shards", "-2"},
+		{"-shards", "3", "-shard", "3", "-checkpoint-dir", "/tmp/x"},
+		{"-shard", "-2"},
+		{"-shards", "3", "-shard", "1"}, // shard without checkpoint dir
+		{"-resume"},                     // resume without checkpoint dir
+	} {
+		if cfg, err := parse(bad...); err == nil {
+			t.Errorf("CampaignFlags(%v) = %+v, want error", bad, cfg)
+		}
+	}
+}
 
 func TestParseCrashes(t *testing.T) {
 	tests := []struct {
@@ -86,6 +125,32 @@ func TestParseNet(t *testing.T) {
 	for _, bad := range []string{"", "warp", "async:x", "pareto:x", "psync:1:y", "alt:z"} {
 		if m, err := ParseNet(bad); err == nil {
 			t.Errorf("ParseNet(%q) = %v, want error", bad, m)
+		}
+	}
+}
+
+// TestParseNetRejectsOutOfRangeParams pins the fail-fast contract: the sim
+// models clamp out-of-range parameters to defaults, so a negative or zero
+// value must be rejected at the CLI instead of silently skewing the
+// scenario.
+func TestParseNetRejectsOutOfRangeParams(t *testing.T) {
+	for _, bad := range []string{
+		"async:-3", "async:0",
+		"timely:-1", "timely:0",
+		"psync:-10:3", "psync:50:0", "psync:50:-1", "psync:-10:0",
+		"pareto:-1:5", "pareto:0", "pareto:1.5:-5", "pareto:1.5:1",
+		"lognormal:-0.7", "lognormal:0", "lognormal:1:-15", "lognormal:1:0",
+		"alt:-40", "alt:0", "alt:40:-200",
+		"asym:-10", "asym:0",
+	} {
+		if m, err := ParseNet(bad); err == nil {
+			t.Errorf("ParseNet(%q) = %v, want error (out-of-range parameter must not clamp)", bad, m)
+		}
+	}
+	// Boundary values that are legitimately in range must still parse.
+	for _, good := range []string{"async:1", "timely:1", "psync:0:1", "pareto:0.1:2", "lognormal:0.1:1", "alt:1:0", "asym:1"} {
+		if _, err := ParseNet(good); err != nil {
+			t.Errorf("ParseNet(%q): %v, want ok (boundary value)", good, err)
 		}
 	}
 }

@@ -19,7 +19,7 @@ import (
 // must survive (it rests on the majority quorums), termination must not
 // (homonymous co-leaders keep pushing different estimates, Lemma 7's
 // convergence argument is gone).
-func E14CoordinationAblation() Table {
+func E14CoordinationAblation() (Table, error) {
 	t := Table{
 		ID:     "E14",
 		Title:  "Ablation: Fig. 8 without the Leaders' Coordination Phase",
@@ -45,7 +45,7 @@ func E14CoordinationAblation() Table {
 	for i := range seeds {
 		seeds[i] = int64(i)
 	}
-	t.Rows = sweep.Map(combos, func(_ int, c combo) []string {
+	err := tableRows(&t, combos, func(_ int, c combo) []string {
 		variant := "full (with COORD)"
 		if c.ablate {
 			variant = "ablated (no COORD)"
@@ -75,7 +75,7 @@ func E14CoordinationAblation() Table {
 			itoaI(c.l), variant, itoaI(runs), itoaI(decided), itoaI(safetyViolations), itoaI(maxRounds),
 		}
 	})
-	return t
+	return t, err
 }
 
 // runAblated executes one (possibly ablated) Fig. 8 run with distinct
@@ -162,7 +162,7 @@ func safeDecisions(proposals []core.Value, outcomes []core.Outcome) bool {
 // Leaders' Coordination Phase waits for h_multiplicity COORD messages, so
 // its latency and traffic grow with the group size c — the price the
 // homonymous algorithm pays per round, measured directly.
-func E15LeaderGroupSize() Table {
+func E15LeaderGroupSize() (Table, error) {
 	t := Table{
 		ID:     "E15",
 		Title:  "Leader-group size vs. coordination cost (skewed homonymy)",
@@ -173,7 +173,7 @@ func E15LeaderGroupSize() Table {
 		},
 	}
 	n := 7
-	t.Rows = sweep.Map([]int{1, 2, 3, 4, 5}, func(_ int, c int) []string {
+	err := tableRows(&t, []int{1, 2, 3, 4, 5}, func(_ int, c int) []string {
 		// "aaa" sorts before "solo…", so the heavy group leads.
 		ids := make(ident.Assignment, n)
 		for i := range ids {
@@ -217,5 +217,5 @@ func E15LeaderGroupSize() Table {
 			itoaI(rec.Stats().ByTag["COORD"]), itoaI(rec.Stats().Broadcasts),
 		}
 	})
-	return t
+	return t, err
 }

@@ -7,7 +7,6 @@ import (
 	"repro/internal/ident"
 	"repro/internal/multiset"
 	"repro/internal/sim"
-	"repro/internal/sweep"
 	"repro/internal/trace"
 )
 
@@ -16,7 +15,7 @@ import (
 // close before replies arrive and h_trusted flaps forever; the adaptive
 // rule grows the timeout exactly until outdated replies stop. This is the
 // mechanism behind Lemma 5.
-func E16TimeoutAdaptation() Table {
+func E16TimeoutAdaptation() (Table, error) {
 	t := Table{
 		ID:     "E16",
 		Title:  "Ablation: Figure 6 without timeout adaptation",
@@ -38,7 +37,7 @@ func E16TimeoutAdaptation() Table {
 		{"adaptive (paper)", ohp.New, 12},
 	}
 	const horizon sim.Time = 4000
-	t.Rows = sweep.Map(variants, func(_ int, v variant) []string {
+	err := tableRows(&t, variants, func(_ int, v variant) []string {
 		ids := ident.Balanced(4, 2)
 		n := ids.N()
 		eng := sim.New(sim.Config{IDs: ids, Net: sim.PartialSync{GST: 40, Delta: v.delta, PreLoss: 0.5}, Seed: 5})
@@ -76,14 +75,14 @@ func E16TimeoutAdaptation() Table {
 		finalTrusted := dets[0].Trusted().Len()
 		return []string{v.name, itoa(v.delta), holds, itoaI(finalTrusted), itoaI(lateChanges), itoa(maxTO)}
 	})
-	return t
+	return t, err
 }
 
 // E17PhaseMessageBreakdown decomposes consensus traffic by message type
 // for both algorithms on a common workload: where the homonymy surcharge
 // (COORD) and the quorum machinery (PH1/PH2 sub-rounds) actually spend
 // messages.
-func E17PhaseMessageBreakdown() Table {
+func E17PhaseMessageBreakdown() (Table, error) {
 	t := Table{
 		ID:     "E17",
 		Title:  "Message-cost breakdown by phase/type",
@@ -104,7 +103,7 @@ func E17PhaseMessageBreakdown() Table {
 		{"fig9", map[sim.PID]sim.Time{1: 1, 4: 2}},
 		{"fig9 (4 crashes)", map[sim.PID]sim.Time{0: 2, 1: 5, 2: 8, 3: 11}},
 	}
-	t.Rows = sweep.Map(scenarios, func(i int, sc scenario) []string {
+	err := tableRows(&t, scenarios, func(i int, sc scenario) []string {
 		stats, err := runBreakdown(sc.algo, sc.crashes, int64(100+i))
 		if err != nil {
 			return []string{sc.algo, itoaI(len(sc.crashes)), "✗ " + err.Error(), "-", "-", "-", "-", "-"}
@@ -116,7 +115,7 @@ func E17PhaseMessageBreakdown() Table {
 			itoaI(stats.ByTag["DECIDE"]), itoaI(stats.Broadcasts),
 		}
 	})
-	return t
+	return t, err
 }
 
 func runBreakdown(algo string, crashes map[sim.PID]sim.Time, seed int64) (trace.Stats, error) {

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/campaign"
 )
 
 // TestAllTablesVerified runs every experiment end to end and asserts no
@@ -12,8 +15,12 @@ func TestAllTablesVerified(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep")
 	}
+	tables, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
 	ids := make(map[string]bool)
-	for _, table := range All() {
+	for _, table := range tables {
 		table := table
 		t.Run(table.ID, func(t *testing.T) {
 			if table.ID == "" || table.Title == "" || table.Paper == "" {
@@ -23,6 +30,12 @@ func TestAllTablesVerified(t *testing.T) {
 				t.Fatalf("duplicate experiment id %s", table.ID)
 			}
 			ids[table.ID] = true
+			if table.Partial {
+				t.Fatal("default campaign config produced a partial table")
+			}
+			if table.Digest == "" {
+				t.Fatal("table has no campaign digest")
+			}
 			if len(table.Rows) == 0 {
 				t.Fatal("experiment produced no rows")
 			}
@@ -54,5 +67,79 @@ func TestMarkdownRendering(t *testing.T) {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q:\n%s", want, md)
 		}
+	}
+}
+
+// TestTablesSelection asserts Tables builds exactly the requested
+// experiments, in index order, without running the rest.
+func TestTablesSelection(t *testing.T) {
+	tables, err := Tables([]string{"E5", "E1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "E1" || tables[1].ID != "E5" {
+		got := make([]string, len(tables))
+		for i, tb := range tables {
+			got[i] = tb.ID
+		}
+		t.Fatalf("Tables([E5 E1]) built %v, want [E1 E5]", got)
+	}
+	// A typo'd id must error, not silently drop the table.
+	if _, err := Tables([]string{"E5", "E61"}); err == nil || !strings.Contains(err.Error(), "E61") {
+		t.Fatalf("Tables with unknown id E61: err = %v, want error naming it", err)
+	}
+}
+
+// TestCampaignModesByteIdentical is the acceptance pin at the experiments
+// layer: one table built (a) in the default single-shard in-memory mode,
+// (b) as 3 in-process shards with checkpoints, and (c) as 3 shard-only
+// runs — one campaign.Run call per shard, exactly what three separate
+// processes execute — then merged via -resume semantics, must agree byte
+// for byte in markdown and digest.
+func TestCampaignModesByteIdentical(t *testing.T) {
+	defer SetCampaign(campaign.Config{})
+
+	build := func(cfg campaign.Config) Table {
+		t.Helper()
+		SetCampaign(cfg)
+		table, err := E1SigmaToHSigmaKnown()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return table
+	}
+
+	serial := build(campaign.Config{})
+	if serial.Digest == "" || len(serial.Rows) == 0 {
+		t.Fatalf("serial table incomplete: %+v", serial)
+	}
+
+	inproc := build(campaign.Config{Shards: 3, Shard: -1})
+	if inproc.Markdown() != serial.Markdown() || inproc.Digest != serial.Digest {
+		t.Fatalf("3 in-process shards diverge from serial:\n%s\nvs\n%s", inproc.Markdown(), serial.Markdown())
+	}
+
+	dir := t.TempDir()
+	for s := 0; s < 3; s++ {
+		shard := build(campaign.Config{Shards: 3, Shard: s, Dir: dir})
+		if !shard.Partial || shard.Rows != nil {
+			t.Fatalf("shard-only run %d returned a full table: %+v", s, shard)
+		}
+		if _, err := os.Stat(campaign.ShardPath(dir, "E1", 3, s)); err != nil {
+			t.Fatalf("shard %d checkpoint not written: %v", s, err)
+		}
+	}
+	merged := build(campaign.Config{Shards: 3, Shard: -1, Dir: dir, Resume: true})
+	if merged.Markdown() != serial.Markdown() || merged.Digest != serial.Digest {
+		t.Fatalf("merged multi-process table diverges from serial:\n%s\nvs\n%s", merged.Markdown(), serial.Markdown())
+	}
+
+	// A damaged checkpoint must be rejected by a bare merge.
+	path := campaign.ShardPath(dir, "E1", 3, 1)
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := campaign.Merge[[]string](dir, "E1", 3, 3); err == nil {
+		t.Fatal("merge accepted a corrupt shard checkpoint")
 	}
 }

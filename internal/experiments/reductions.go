@@ -8,7 +8,6 @@ import (
 	"repro/internal/multiset"
 	"repro/internal/reduce"
 	"repro/internal/sim"
-	"repro/internal/sweep"
 	"repro/internal/trace"
 	"slices"
 )
@@ -82,7 +81,7 @@ func quoraEqual(a, b []fd.QuorumPair) bool {
 // E1SigmaToHSigmaKnown measures Figure 1 (Σ→HΣ, membership known): a
 // communication-free transformation whose label sets grow exponentially
 // with the known membership.
-func E1SigmaToHSigmaKnown() Table {
+func E1SigmaToHSigmaKnown() (Table, error) {
 	t := Table{
 		ID:     "E1",
 		Title:  "Σ → HΣ with known membership",
@@ -90,7 +89,7 @@ func E1SigmaToHSigmaKnown() Table {
 		Header: []string{"n", "crashes", "HΣ verified", "stabilization (vt)", "broadcasts", "|h_labels| per proc"},
 		Notes:  []string{"Zero broadcasts: the Figure 1 transformation is communication-free; h_labels is the 2^(n−1) subsets of I(Π) containing id(p)."},
 	}
-	t.Rows = sweep.Map([]int{3, 5, 7}, func(_ int, n int) []string {
+	err := tableRows(&t, []int{3, 5, 7}, func(_ int, n int) []string {
 		ids := ident.Unique(n)
 		crashes := map[sim.PID]sim.Time{0: 40}
 		h := newRedHarness(ids, crashes, int64(n))
@@ -117,12 +116,12 @@ func E1SigmaToHSigmaKnown() Table {
 			itoaI(h.rec.Stats().Broadcasts), itoaI(labelCount),
 		}
 	})
-	return t
+	return t, err
 }
 
 // E2SigmaToHSigmaUnknown measures Figure 2 (Σ→HΣ, membership unknown):
 // the IDENT discovery traffic and the horizon at which HΣ stabilizes.
-func E2SigmaToHSigmaUnknown() Table {
+func E2SigmaToHSigmaUnknown() (Table, error) {
 	t := Table{
 		ID:     "E2",
 		Title:  "Σ → HΣ without membership knowledge",
@@ -130,7 +129,7 @@ func E2SigmaToHSigmaUnknown() Table {
 		Header: []string{"n", "crashes", "HΣ verified", "stabilization (vt)", "IDENT broadcasts"},
 		Notes:  []string{"IDENT traffic grows linearly in n per unit time — the price of membership discovery; stabilization tracks the oracle's Σ convergence."},
 	}
-	t.Rows = sweep.Map([]int{3, 5, 7}, func(_ int, n int) []string {
+	err := tableRows(&t, []int{3, 5, 7}, func(_ int, n int) []string {
 		ids := ident.Unique(n)
 		crashes := map[sim.PID]sim.Time{sim.PID(n - 1): 60}
 		h := newRedHarness(ids, crashes, int64(10+n))
@@ -153,12 +152,12 @@ func E2SigmaToHSigmaUnknown() Table {
 			itoaI(h.rec.Stats().ByTag["IDENT"]),
 		}
 	})
-	return t
+	return t, err
 }
 
 // E3AliveList measures Figure 3 (class 𝔈): how fast the correct
 // identifiers conquer the prefix of the alive list as crashes mount.
-func E3AliveList() Table {
+func E3AliveList() (Table, error) {
 	t := Table{
 		ID:     "E3",
 		Title:  "𝔈 alive list: prefix convergence",
@@ -176,7 +175,7 @@ func E3AliveList() Table {
 		{8, map[sim.PID]sim.Time{1: 100, 3: 200, 5: 300}},
 		{12, map[sim.PID]sim.Time{0: 50, 2: 100, 4: 150, 6: 200, 8: 250}},
 	}
-	t.Rows = sweep.Map(cfgs, func(_ int, cfg e3cfg) []string {
+	err := tableRows(&t, cfgs, func(_ int, cfg e3cfg) []string {
 		ids := ident.Unique(cfg.n)
 		rec := &trace.Recorder{}
 		eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: int64(cfg.n), Recorder: rec})
@@ -228,7 +227,7 @@ func E3AliveList() Table {
 			itoa(prefixStable), itoaI(rec.Stats().ByTag["ALIVE"]),
 		}
 	})
-	return t
+	return t, err
 }
 
 func slicesEqual(a, b []ident.ID) bool {
@@ -245,7 +244,7 @@ func slicesEqual(a, b []ident.ID) bool {
 
 // E4HSigmaToSigma measures Figure 4 (HΣ→Σ via 𝔈): the emulated Σ detector
 // and the LABELS gossip it costs.
-func E4HSigmaToSigma() Table {
+func E4HSigmaToSigma() (Table, error) {
 	t := Table{
 		ID:     "E4",
 		Title:  "HΣ → Σ using the 𝔈 alive list",
@@ -253,7 +252,7 @@ func E4HSigmaToSigma() Table {
 		Header: []string{"n", "crashes", "Σ verified", "stabilization (vt)", "LABELS broadcasts", "ALIVE broadcasts"},
 		Notes:  []string{"The emulated Σ trusts I(Correct) once the 𝔈 ranking prefers the all-correct HΣ candidate; both gossip streams run at the poll rate."},
 	}
-	t.Rows = sweep.Map([]int{3, 5, 7}, func(_ int, n int) []string {
+	err := tableRows(&t, []int{3, 5, 7}, func(_ int, n int) []string {
 		ids := ident.Unique(n)
 		crashes := map[sim.PID]sim.Time{0: 50}
 		h := newRedHarness(ids, crashes, int64(20+n))
@@ -282,7 +281,7 @@ func E4HSigmaToSigma() Table {
 			itoaI(h.rec.Stats().ByTag["LABELS"]), itoaI(h.rec.Stats().ByTag["ALIVE"]),
 		}
 	})
-	return t
+	return t, err
 }
 
 func msEq(a, b *multiset.Multiset[ident.ID]) bool {
@@ -294,7 +293,7 @@ func msEq(a, b *multiset.Multiset[ident.ID]) bool {
 
 // E5RelationMatrix executes every Figure-5 arrow and reports the verified
 // matrix.
-func E5RelationMatrix() Table {
+func E5RelationMatrix() (Table, error) {
 	t := Table{
 		ID:     "E5",
 		Title:  "Machine-checked failure detector relation matrix",
@@ -302,7 +301,7 @@ func E5RelationMatrix() Table {
 		Header: []string{"from", "to", "paper source", "model", "verified", "stabilization (vt)"},
 		Notes:  []string{"Each arrow is an executable reduction; \"verified\" means the emulated detector passed every axiom of the target class on the recorded execution (4 seeds; worst stabilization shown)."},
 	}
-	t.Rows = sweep.Map(reduce.All(), func(_ int, rel reduce.Relation) []string {
+	err := tableRows(&t, reduce.All(), func(_ int, rel reduce.Relation) []string {
 		status := "✓"
 		var worst sim.Time
 		for seed := int64(1); seed <= 4; seed++ {
@@ -317,12 +316,12 @@ func E5RelationMatrix() Table {
 		}
 		return []string{rel.From, rel.To, rel.Source, rel.Model, status, itoa(worst)}
 	})
-	return t
+	return t, err
 }
 
 // E13APReductions measures Lemmas 2–3: AP lifted to ◇HP̄ and HΣ in
 // anonymous systems, across crash loads.
-func E13APReductions() Table {
+func E13APReductions() (Table, error) {
 	t := Table{
 		ID:     "E13",
 		Title:  "AP → ◇HP̄ and AP → HΣ in anonymous systems",
@@ -330,7 +329,7 @@ func E13APReductions() Table {
 		Header: []string{"n", "crashes", "◇HP̄ verified", "◇HP̄ stab (vt)", "HΣ verified", "HΣ stab (vt)"},
 		Notes:  []string{"Both transformations are communication-free; stabilization is inherited from AP tightening to |Correct| after the last crash."},
 	}
-	t.Rows = sweep.Map([]map[sim.PID]sim.Time{
+	err := tableRows(&t, []map[sim.PID]sim.Time{
 		nil,
 		{1: 40},
 		{0: 30, 2: 60, 4: 90},
@@ -381,5 +380,5 @@ func E13APReductions() Table {
 			itoaI(n), itoaI(len(crashes)), s1, itoa(res1.StabilizationTime), s2, itoa(res2.StabilizationTime),
 		}
 	})
-	return t
+	return t, err
 }

@@ -6,7 +6,6 @@ import (
 	hds "repro"
 	"repro/internal/ident"
 	"repro/internal/sim"
-	"repro/internal/sweep"
 )
 
 // E18ChurnSweep opens the crash-recovery workload family: churners cycle
@@ -16,7 +15,7 @@ import (
 // run the heartbeat workload, which verifies the engine's incremental
 // Correct/EventuallyUp bookkeeping against the schedule-derived ground
 // truth at a scale the detector's n² polling cannot reach.
-func E18ChurnSweep() Table {
+func E18ChurnSweep() (Table, error) {
 	t := Table{
 		ID:     "E18",
 		Title:  "Crash-recovery churn sweep (◇HP̄ re-convergence, large-n engine truth)",
@@ -41,7 +40,7 @@ func E18ChurnSweep() Table {
 		{"heartbeat", 200, 20, sim.ChurnSpec{Fraction: 0.2, Cycles: 2, Start: 10, Down: 20, Up: 25, FinalDown: true}, 120, 5},
 		{"heartbeat", 1000, 50, sim.ChurnSpec{Fraction: 0.2, Cycles: 1, Start: 5, Down: 12}, 40, 6},
 	}
-	t.Rows = sweep.Map(cfgs, func(_ int, c cfg) []string {
+	err := tableRows(&t, cfgs, func(_ int, c cfg) []string {
 		ids := ident.Balanced(c.n, c.l)
 		base := []string{c.workload, itoaI(c.n), itoaI(c.l), c.churn.String()}
 		switch c.workload {
@@ -70,7 +69,7 @@ func E18ChurnSweep() Table {
 				itoaI(res.Processed), "-", res.Stopped.String())
 		}
 	})
-	return t
+	return t, err
 }
 
 // E19HeavyTailDelays ablates the delay distribution under the Figure 6
@@ -79,7 +78,7 @@ func E18ChurnSweep() Table {
 // asymmetric skew. Every network here is eventually timely (the heavy
 // tails are capped), so the class properties must still hold — what the
 // tail buys is a harder adaptation problem and a later stabilization.
-func E19HeavyTailDelays() Table {
+func E19HeavyTailDelays() (Table, error) {
 	t := Table{
 		ID:     "E19",
 		Title:  "Delay-model ablation: heavy tails, time-varying synchrony, asymmetric links",
@@ -99,7 +98,7 @@ func E19HeavyTailDelays() Table {
 		sim.Alternating{Period: 40, GoodDelta: 3, BadMax: 30, BadLoss: 0.3, CalmAfter: 200},
 		sim.AsymmetricLinks{Base: sim.Async{MaxDelay: 6}, MaxSkew: 10},
 	}
-	t.Rows = sweep.Map(nets, func(i int, net sim.Model) []string {
+	err := tableRows(&t, nets, func(i int, net sim.Model) []string {
 		res, err := hds.RunOHP(hds.OHPExperiment{
 			IDs:     ident.Balanced(6, 3),
 			Crashes: map[hds.PID]hds.Time{1: 30},
@@ -123,5 +122,5 @@ func E19HeavyTailDelays() Table {
 			itoaI(traffic), itoa(maxTO),
 		}
 	})
-	return t
+	return t, err
 }

@@ -5,13 +5,12 @@ import (
 	"repro/internal/fd/oracle"
 	"repro/internal/ident"
 	"repro/internal/sim"
-	"repro/internal/sweep"
 )
 
 // E6DiamondHPbar sweeps the Figure 6 detector over n, homonymy degree ℓ,
 // GST and δ in the partially synchronous system (with lossy pre-GST
 // links), measuring stabilization and polling traffic.
-func E6DiamondHPbar() Table {
+func E6DiamondHPbar() (Table, error) {
 	t := Table{
 		ID:     "E6",
 		Title:  "◇HP̄ in HPS (polling, adaptive timeouts)",
@@ -39,7 +38,7 @@ func E6DiamondHPbar() Table {
 		{6, 3, 50, 16, map[hds.PID]hds.Time{1: 30}, 9},
 		{9, 3, 50, 3, map[hds.PID]hds.Time{1: 30, 7: 60}, 10},
 	}
-	t.Rows = sweep.Map(cfgs, func(_ int, c cfg) []string {
+	err := tableRows(&t, cfgs, func(_ int, c cfg) []string {
 		res, err := hds.RunOHP(hds.OHPExperiment{
 			IDs:     ident.Balanced(c.n, c.l),
 			Crashes: c.crashes,
@@ -64,13 +63,13 @@ func E6DiamondHPbar() Table {
 			itoa(res.TrustedStabilization), itoaI(traffic), itoa(maxTO),
 		}
 	})
-	return t
+	return t, err
 }
 
 // E7HOmegaExtraction compares the HΩ output's stabilization with ◇HP̄'s
 // on the same runs: the extraction is free and can stabilize earlier (the
 // minimum identifier can settle before the full multiset does).
-func E7HOmegaExtraction() Table {
+func E7HOmegaExtraction() (Table, error) {
 	t := Table{
 		ID:     "E7",
 		Title:  "HΩ extracted from ◇HP̄ (no extra communication)",
@@ -88,7 +87,7 @@ func E7HOmegaExtraction() Table {
 		{6, 3, map[hds.PID]hds.Time{0: 40, 3: 80}},
 		{8, 4, map[hds.PID]hds.Time{0: 40, 1: 60, 2: 80}},
 	}
-	t.Rows = sweep.Map(cfgs, func(i int, c cfg) []string {
+	err := tableRows(&t, cfgs, func(i int, c cfg) []string {
 		res, err := hds.RunOHP(hds.OHPExperiment{
 			IDs:     ident.Balanced(c.n, c.l),
 			Crashes: c.crashes,
@@ -105,13 +104,13 @@ func E7HOmegaExtraction() Table {
 			res.Leader.String(),
 		}
 	})
-	return t
+	return t, err
 }
 
 // E8HSigmaSync measures Figure 7 in the synchronous system: the liveness
 // quorum appears one step after the last crash, and mid-broadcast crashes
 // multiply the distinct quora without ever breaking safety.
-func E8HSigmaSync() Table {
+func E8HSigmaSync() (Table, error) {
 	t := Table{
 		ID:     "E8",
 		Title:  "HΣ in HSS (synchronous steps)",
@@ -131,7 +130,7 @@ func E8HSigmaSync() Table {
 		{8, 2, map[hds.PID]hds.CrashStep{1: {Step: 2, DeliverProb: 0.4}, 5: {Step: 4, DeliverProb: 0.6}}, "yes"},
 		{8, 8, map[hds.PID]hds.CrashStep{0: {Step: 2, DeliverProb: 0.4}, 7: {Step: 5, DeliverProb: 0.5}}, "yes"},
 	}
-	t.Rows = sweep.Map(cfgs, func(i int, c cfg) []string {
+	err := tableRows(&t, cfgs, func(i int, c cfg) []string {
 		res, err := hds.RunHSigma(hds.HSigmaExperiment{
 			IDs:        ident.Balanced(c.n, c.l),
 			CrashSteps: c.crashes,
@@ -153,12 +152,12 @@ func E8HSigmaSync() Table {
 			itoa(res.StabilizationStep), itoaI(maxQ),
 		}
 	})
-	return t
+	return t, err
 }
 
 // E9Fig8Consensus sweeps the Figure 8 consensus across homonymy degrees,
 // crash loads and adversarial detector stabilization.
-func E9Fig8Consensus() Table {
+func E9Fig8Consensus() (Table, error) {
 	t := Table{
 		ID:     "E9",
 		Title:  "Consensus in HAS[t<n/2, HΩ]",
@@ -186,7 +185,7 @@ func E9Fig8Consensus() Table {
 		{9, 3, 4, map[hds.PID]hds.Time{0: 20, 2: 40, 4: 60, 6: 80}, 150, oracle.AdversarySplit, "split", 7},
 		{9, 3, 4, nil, 300, oracle.AdversaryRotate, "rotate", 8},
 	}
-	t.Rows = sweep.Map(cfgs, func(_ int, c cfg) []string {
+	err := tableRows(&t, cfgs, func(_ int, c cfg) []string {
 		rep, stats, err := hds.RunFig8(hds.Fig8Experiment{
 			IDs:       ident.Balanced(c.n, c.l),
 			T:         c.tt,
@@ -204,12 +203,12 @@ func E9Fig8Consensus() Table {
 			itoaI(rep.MaxRound), itoa(rep.LastDecision), itoaI(stats.Broadcasts),
 		}
 	})
-	return t
+	return t, err
 }
 
 // E10Fig9Consensus sweeps the Figure 9 consensus up to n−1 crashes — the
 // regime Figure 8 cannot enter.
-func E10Fig9Consensus() Table {
+func E10Fig9Consensus() (Table, error) {
 	t := Table{
 		ID:     "E10",
 		Title:  "Consensus in HAS[HΩ, HΣ] — any number of crashes",
@@ -224,7 +223,7 @@ func E10Fig9Consensus() Table {
 	for k := range ks {
 		ks[k] = k
 	}
-	t.Rows = sweep.Map(ks, func(_ int, k int) []string {
+	err := tableRows(&t, ks, func(_ int, k int) []string {
 		crashes := make(map[hds.PID]hds.Time, k)
 		for i := 0; i < k; i++ {
 			crashes[hds.PID(i)] = hds.Time(20 + 15*i)
@@ -244,13 +243,13 @@ func E10Fig9Consensus() Table {
 			itoaI(rep.MaxRound), itoa(rep.LastDecision), itoaI(stats.Broadcasts),
 		}
 	})
-	return t
+	return t, err
 }
 
 // E11HomonymyExtremes compares the extremes of homonymy on one workload:
 // unique identifiers (ℓ=n, HΩ ≍ Ω), balanced homonymy, anonymous with HΩ,
 // and the paper's anonymous AΩ baseline without the coordination phase.
-func E11HomonymyExtremes() Table {
+func E11HomonymyExtremes() (Table, error) {
 	t := Table{
 		ID:     "E11",
 		Title:  "Extremes of homonymy on one workload",
@@ -296,7 +295,7 @@ func E11HomonymyExtremes() Table {
 			})
 		}},
 	}
-	t.Rows = sweep.Map(variants, func(_ int, v variant) []string {
+	err := tableRows(&t, variants, func(_ int, v variant) []string {
 		rep, stats, err := v.run()
 		if err != nil {
 			return []string{v.name, itoaI(v.l), v.algo, "✗ " + err.Error(), "-", "-", "-"}
@@ -306,12 +305,12 @@ func E11HomonymyExtremes() Table {
 			itoaI(stats.Broadcasts), itoaI(stats.ByTag["COORD"]),
 		}
 	})
-	return t
+	return t, err
 }
 
 // E12EndToEndHPS runs the full stack — Figure 6 detector under Figure 8
 // consensus — in HPS and shows decision time tracking GST.
-func E12EndToEndHPS() Table {
+func E12EndToEndHPS() (Table, error) {
 	t := Table{
 		ID:     "E12",
 		Title:  "End-to-end: Fig 6 (◇HP̄→HΩ) under Fig 8 in HPS",
@@ -321,7 +320,7 @@ func E12EndToEndHPS() Table {
 			"The paper's headline composition: consensus with partially synchronous processes, eventually timely (reliable) links, a correct majority and no initial membership knowledge. Decision time tracks GST — before it, harsh pre-GST delays stall both the detector's convergence and the consensus quorums.",
 		},
 	}
-	t.Rows = sweep.Map([]hds.Time{0, 100, 300, 600}, func(i int, gst hds.Time) []string {
+	err := tableRows(&t, []hds.Time{0, 100, 300, 600}, func(i int, gst hds.Time) []string {
 		rep, stats, err := hds.RunFig8(hds.Fig8Experiment{
 			IDs:       ident.Balanced(5, 2),
 			T:         2,
@@ -339,5 +338,5 @@ func E12EndToEndHPS() Table {
 			itoaI(rep.MaxRound), itoa(rep.LastDecision), itoaI(stats.Broadcasts),
 		}
 	})
-	return t
+	return t, err
 }

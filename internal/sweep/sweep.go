@@ -88,9 +88,14 @@ func MapErr[I, R any](opt Options, inputs []I, f func(i int, in I) (R, error)) (
 }
 
 // run executes job(0..n-1) on a pool. Workers pull the next index from an
-// atomic counter; each index is executed exactly once. A panic in any job
-// is captured and re-raised on the calling goroutine after the pool
-// drains, matching serial semantics.
+// atomic counter; each index is executed exactly once. Panic semantics
+// match serial execution deterministically: after the first panic the pool
+// stops dispatching new indices, already-dispatched jobs run to
+// completion, and the panic re-raised on the calling goroutine is the
+// lowest-index one. That index is exactly the index a serial run would
+// have panicked at — dispatch is monotone, so every index below a
+// panicking one was dispatched (hence ran, hence had its own panic
+// captured) before dispatch stopped.
 func run(opt Options, n int, job func(i int)) {
 	if n == 0 {
 		return
@@ -110,15 +115,17 @@ func run(opt Options, n int, job func(i int)) {
 	}
 	var (
 		next     atomic.Int64
+		stop     atomic.Bool
 		wg       sync.WaitGroup
 		panicMu  sync.Mutex
+		panicIdx = -1
 		panicked any
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for !stop.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -126,9 +133,10 @@ func run(opt Options, n int, job func(i int)) {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
+							stop.Store(true)
 							panicMu.Lock()
-							if panicked == nil {
-								panicked = r
+							if panicIdx < 0 || i < panicIdx {
+								panicIdx, panicked = i, r
 							}
 							panicMu.Unlock()
 						}
@@ -139,7 +147,7 @@ func run(opt Options, n int, job func(i int)) {
 		}()
 	}
 	wg.Wait()
-	if panicked != nil {
+	if panicIdx >= 0 {
 		panic(panicked)
 	}
 }

@@ -6,7 +6,9 @@ import (
 	"hash/fnv"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	hds "repro"
 	"repro/internal/experiments"
@@ -81,6 +83,61 @@ func TestMapPanicPropagates(t *testing.T) {
 				return v
 			})
 		}()
+	}
+}
+
+// TestMapPanicLowestIndexMatchesSerial pins the panic determinism
+// contract: whatever the worker count and completion order, the panic that
+// reaches the caller is the one a serial run would have raised — the
+// lowest-index one. Index 10 here panics immediately while index 9 sleeps
+// first, so under any parallel schedule a completion-order implementation
+// would surface boom-10.
+func TestMapPanicLowestIndexMatchesSerial(t *testing.T) {
+	capture := func(workers int) (val any) {
+		defer func() { val = recover() }()
+		sweep.MapOpt(sweep.Options{Workers: workers}, make([]struct{}, 64), func(i int, _ struct{}) int {
+			switch i {
+			case 9:
+				time.Sleep(30 * time.Millisecond)
+				panic(fmt.Sprintf("boom-%d", i))
+			case 10:
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+			return i
+		})
+		return nil
+	}
+	serial := capture(1)
+	if serial != "boom-9" {
+		t.Fatalf("serial panic = %v, want boom-9", serial)
+	}
+	for _, workers := range []int{2, 4, 16, 64} {
+		if got := capture(workers); got != serial {
+			t.Fatalf("workers=%d: panic = %v, want %v (serial semantics)", workers, got, serial)
+		}
+	}
+}
+
+// TestMapPanicStopsDispatch verifies the pool stops handing out new
+// indices once a panic is captured: with the first index panicking
+// immediately and every other job taking a few milliseconds, only the
+// jobs already in flight may still run — not the whole input.
+func TestMapPanicStopsDispatch(t *testing.T) {
+	const n = 10_000
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		sweep.MapOpt(sweep.Options{Workers: 4}, make([]struct{}, n), func(i int, _ struct{}) int {
+			ran.Add(1)
+			if i == 0 {
+				panic("early")
+			}
+			time.Sleep(2 * time.Millisecond)
+			return i
+		})
+	}()
+	if got := ran.Load(); got > n/10 {
+		t.Fatalf("pool kept dispatching after panic: %d of %d jobs ran", got, n)
 	}
 }
 
@@ -253,7 +310,7 @@ func TestExperimentTablesIdenticalAcrossWorkerCounts(t *testing.T) {
 		t.Skip("full experiment tables")
 	}
 	defer sweep.SetDefaultWorkers(0)
-	builders := []func() experiments.Table{
+	builders := []func() (experiments.Table, error){
 		experiments.E5RelationMatrix,
 		experiments.E6DiamondHPbar,
 		experiments.E9Fig8Consensus,
@@ -263,7 +320,11 @@ func TestExperimentTablesIdenticalAcrossWorkerCounts(t *testing.T) {
 		sweep.SetDefaultWorkers(workers)
 		out := make([]string, len(builders))
 		for i, b := range builders {
-			out[i] = b().Markdown()
+			table, err := b()
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			out[i] = table.Markdown()
 		}
 		return out
 	}
