@@ -1,0 +1,10 @@
+// Command fdmon runs the paper's failure detector implementations
+// standalone and reports their convergence:
+//
+//	go run ./cmd/fdmon -detector ohp    # Figure 6: ◇HP̄+HΩ in HPS
+//	go run ./cmd/fdmon -detector hsigma # Figure 7: HΣ in HSS
+//
+// Flags select the population (n, l), the timing model (gst, delta) and a
+// crash schedule; the run is verified against the class axioms before any
+// numbers are printed.
+package main

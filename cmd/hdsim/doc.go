@@ -1,0 +1,37 @@
+// Command hdsim runs one verified experiment on the simulator:
+//
+//	go run ./cmd/hdsim -algo fig8 -n 5 -l 2 -t 2 -crashes 1:30
+//	go run ./cmd/hdsim -algo fig9 -n 6 -l 3 -crashes 0:20,1:40,2:60,3:80
+//	go run ./cmd/hdsim -algo fig8 -detectors mp -gst 80 -delta 3
+//	go run ./cmd/hdsim -algo fig8 -net pareto:1.5:15
+//	go run ./cmd/hdsim -algo ohp -n 12 -l 4 -churn 0.25:2:40:60
+//
+// Algorithms: fig8 = HAS[t<n/2, HΩ] (Theorem 7); fig9 = HAS[HΩ, HΣ]
+// (Theorem 8, any number of crashes); fig9-anon = the anonymous AΩ
+// baseline; ohp = the standalone Figure 6 detector (◇HP̄ → HΩ), the only
+// algorithm that supports crash-recovery churn (-churn). Every run is
+// verified (consensus properties, or detector class properties) before
+// results are printed; a verification failure exits non-zero.
+//
+// -net selects the delay model (see cliutil.ParseNet): async[:max],
+// psync:gst:delta, timely[:δ], pareto[:α[:cap]], lognormal[:σ[:cap]],
+// alt[:period[:calm]], asym[:skew]. It overrides -gst/-delta.
+//
+// -trace FILE streams the run's full event trace to FILE (one event per
+// line, the canonical trace.WriteText rendering). The trace is spilled in
+// batches of -trace-buf events through a trace.WriterSink, so even a
+// multi-million-event run traces in constant memory. Single runs only.
+//
+// With -seeds k > 1 the same scenario is swept over k consecutive seeds in
+// parallel across all cores (deterministically: the report is identical
+// for any -workers value), and per-seed rows plus aggregates are printed:
+//
+//	go run ./cmd/hdsim -algo fig8 -n 7 -l 3 -t 3 -crashes 1:30 -seeds 64
+//
+// Seed sweeps are campaigns: -shards/-shard/-checkpoint-dir/-resume shard
+// the seed list into checkpointed batches exactly as in cmd/experiments,
+// so a large sweep can fan out across processes and resume after a kill:
+//
+//	go run ./cmd/hdsim -algo fig8 -seeds 64 -shards 4 -shard 2 -checkpoint-dir ckpt
+//	go run ./cmd/hdsim -algo fig8 -seeds 64 -shards 4 -checkpoint-dir ckpt -resume
+package main

@@ -1,34 +1,3 @@
-// Command hdsim runs one verified experiment on the simulator:
-//
-//	go run ./cmd/hdsim -algo fig8 -n 5 -l 2 -t 2 -crashes 1:30
-//	go run ./cmd/hdsim -algo fig9 -n 6 -l 3 -crashes 0:20,1:40,2:60,3:80
-//	go run ./cmd/hdsim -algo fig8 -detectors mp -gst 80 -delta 3
-//	go run ./cmd/hdsim -algo fig8 -net pareto:1.5:15
-//	go run ./cmd/hdsim -algo ohp -n 12 -l 4 -churn 0.25:2:40:60
-//
-// Algorithms: fig8 = HAS[t<n/2, HΩ] (Theorem 7); fig9 = HAS[HΩ, HΣ]
-// (Theorem 8, any number of crashes); fig9-anon = the anonymous AΩ
-// baseline; ohp = the standalone Figure 6 detector (◇HP̄ → HΩ), the only
-// algorithm that supports crash-recovery churn (-churn). Every run is
-// verified (consensus properties, or detector class properties) before
-// results are printed; a verification failure exits non-zero.
-//
-// -net selects the delay model (see cliutil.ParseNet): async[:max],
-// psync:gst:delta, timely[:δ], pareto[:α[:cap]], lognormal[:σ[:cap]],
-// alt[:period[:calm]], asym[:skew]. It overrides -gst/-delta.
-//
-// With -seeds k > 1 the same scenario is swept over k consecutive seeds in
-// parallel across all cores (deterministically: the report is identical
-// for any -workers value), and per-seed rows plus aggregates are printed:
-//
-//	go run ./cmd/hdsim -algo fig8 -n 7 -l 3 -t 3 -crashes 1:30 -seeds 64
-//
-// Seed sweeps are campaigns: -shards/-shard/-checkpoint-dir/-resume shard
-// the seed list into checkpointed batches exactly as in cmd/experiments,
-// so a large sweep can fan out across processes and resume after a kill:
-//
-//	go run ./cmd/hdsim -algo fig8 -seeds 64 -shards 4 -shard 2 -checkpoint-dir ckpt
-//	go run ./cmd/hdsim -algo fig8 -seeds 64 -shards 4 -checkpoint-dir ckpt -resume
 package main
 
 import (
@@ -36,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log"
+	"os"
 
 	hds "repro"
 	"repro/internal/campaign"
@@ -43,6 +13,7 @@ import (
 	"repro/internal/fd/oracle"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -62,9 +33,51 @@ func main() {
 	gst := flag.Int64("gst", 0, "network GST (0 = fully asynchronous reliable)")
 	delta := flag.Int64("delta", 3, "post-GST latency bound")
 	horizon := flag.Int64("horizon", 0, "virtual-time horizon (0 = algorithm default)")
+	tracePath := flag.String("trace", "", "stream the full event trace to this file (single runs only)")
+	traceBuf := flag.Int("trace-buf", 0, "trace spill batch size in events (0 = default 4096)")
 	campaignFlags := cliutil.CampaignFlags(flag.CommandLine)
 	flag.Parse()
 	sweep.SetDefaultWorkers(*workers)
+
+	// The trace is spilled in batches through a trace.WriterSink, so a
+	// huge run's trace streams to disk in constant memory instead of
+	// accumulating events in the recorder.
+	var traceRec *trace.Recorder
+	var traceFile *os.File
+	if *tracePath != "" {
+		if *seeds > 1 {
+			log.Fatal("-trace applies to single runs: seed sweeps would interleave unrelated traces")
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traceFile = f
+		traceRec = trace.NewSpillRecorder(trace.NewWriterSink(f), *traceBuf)
+	}
+	if traceRec != nil {
+		// Fatal exits must flush too: a failed run is exactly when the
+		// trace leading up to the failure matters, and log.Fatal skips
+		// defers. Errors are ignored here — the process is already dying
+		// with its own message.
+		flushTraceOnExit = func() {
+			traceRec.Flush()
+			traceFile.Close()
+		}
+	}
+	closeTrace := func() {
+		if traceRec == nil {
+			return
+		}
+		if err := traceRec.Flush(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		s := traceRec.Stats()
+		fmt.Printf("  trace:            %s (%d deliveries, %d drops)\n", *tracePath, s.Delivered, s.Dropped)
+	}
 
 	campaignCfg, err := campaignFlags()
 	if err != nil {
@@ -103,7 +116,8 @@ func main() {
 		if *seeds > 1 {
 			log.Fatal("-seeds > 1 is not supported with -algo ohp; sweep seeds with the consensus algorithms or via internal/sweep")
 		}
-		runOHP(ids, net, *netSpec != "" || *gst > 0, sched, churnSpec, *gst, *delta, *seed, *horizon)
+		runOHP(ids, net, *netSpec != "" || *gst > 0, sched, churnSpec, *gst, *delta, *seed, *horizon, traceRec)
+		closeTrace()
 		return
 	}
 	consensusHorizon := *horizon
@@ -121,14 +135,14 @@ func main() {
 			return hds.RunFig8(hds.Fig8Experiment{
 				IDs: ids, T: *t, Crashes: sched, Net: net,
 				Detectors: src, Stabilize: *stabilize, Adversary: adv, Seed: seed,
-				Horizon: consensusHorizon,
+				Horizon: consensusHorizon, Trace: traceRec,
 			})
 		case "fig9", "fig9-anon":
 			return hds.RunFig9(hds.Fig9Experiment{
 				IDs: ids, Crashes: sched, Net: net,
 				AnonymousBaseline: *algo == "fig9-anon",
 				Stabilize:         *stabilize, Adversary: adv, Seed: seed,
-				Horizon: consensusHorizon,
+				Horizon: consensusHorizon, Trace: traceRec,
 			})
 		default:
 			log.Fatalf("unknown algorithm %q", *algo)
@@ -149,7 +163,7 @@ func main() {
 	fmt.Printf("algo=%s n=%d ℓ=%d ids=%v crashes=%s seed=%d\n", *algo, *n, *l, ids, *crashes, *seed)
 	rep, stats, err := runOne(*seed)
 	if err != nil {
-		log.Fatalf("verification failed: %v", err)
+		fatalf("verification failed: %v", err)
 	}
 
 	fmt.Println("consensus verified ✔ (termination, validity, agreement)")
@@ -159,16 +173,30 @@ func main() {
 	fmt.Printf("  decisions span:   t=%d .. t=%d\n", rep.FirstDecision, rep.LastDecision)
 	fmt.Printf("  broadcasts:       %d total — %s\n", stats.Broadcasts, cliutil.FormatTagCounts(stats.ByTag))
 	fmt.Printf("  deliveries/drops: %d/%d\n", stats.Delivered, stats.Dropped)
+	closeTrace()
+}
+
+// flushTraceOnExit, when set, pushes a partial spilled trace to disk
+// before a fatal exit; fatalf routes every post-setup failure through it.
+var flushTraceOnExit func()
+
+// fatalf is log.Fatalf plus a best-effort trace flush, so -trace files
+// keep the events leading up to a verification failure.
+func fatalf(format string, args ...any) {
+	if flushTraceOnExit != nil {
+		flushTraceOnExit()
+	}
+	log.Fatalf(format, args...)
 }
 
 // runOHP runs the standalone Figure 6 detector — crash-stop (verified
 // ◇HP̄/HΩ class properties) or, with a churn spec, crash-recovery churn
 // (verified against the eventually-up ground truth).
 func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PID]hds.Time,
-	churn hds.ChurnSpec, gst, delta int64, seed, horizon int64) {
+	churn hds.ChurnSpec, gst, delta int64, seed, horizon int64, traceRec *trace.Recorder) {
 	if churn.Fraction > 0 {
 		if len(crashes) > 0 {
-			log.Fatal("use either -churn or -crashes for -algo ohp, not both")
+			fatalf("use either -churn or -crashes for -algo ohp, not both")
 		}
 		// -net or -gst/-delta override the churn default (PartialSync{δ=3}).
 		var cnet sim.Model
@@ -181,10 +209,10 @@ func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PI
 		}
 		fmt.Printf("algo=ohp ids=%v churn=%s net=%s seed=%d\n", ids, churn, effective, seed)
 		res, err := hds.RunChurnOHP(hds.ChurnOHPExperiment{
-			IDs: ids, Churn: churn, Net: cnet, Seed: seed, Horizon: horizon,
+			IDs: ids, Churn: churn, Net: cnet, Seed: seed, Horizon: horizon, Trace: traceRec,
 		})
 		if err != nil {
-			log.Fatalf("verification failed: %v", err)
+			fatalf("verification failed: %v", err)
 		}
 		fmt.Println("detector verified ✔ (◇HP̄ + HΩ over the eventually-up set)")
 		fmt.Printf("  eventually up:    %d/%d (correct in the strict sense: %d)\n", res.EventuallyUp, ids.N(), res.Correct)
@@ -195,7 +223,7 @@ func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PI
 		fmt.Printf("  broadcasts:       %d — %s\n", res.Stats.Broadcasts, cliutil.FormatTagCounts(res.Stats.ByTag))
 		return
 	}
-	exp := hds.OHPExperiment{IDs: ids, Crashes: crashes, GST: gst, Delta: delta, Seed: seed, Horizon: horizon}
+	exp := hds.OHPExperiment{IDs: ids, Crashes: crashes, GST: gst, Delta: delta, Seed: seed, Horizon: horizon, Trace: traceRec}
 	var effective sim.Model = sim.PartialSync{GST: gst, Delta: delta} // RunOHP's default
 	if netGiven {
 		exp.Net = net
@@ -204,7 +232,7 @@ func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PI
 	fmt.Printf("algo=ohp ids=%v crashes=%d net=%s seed=%d\n", ids, len(crashes), effective, seed)
 	res, err := hds.RunOHP(exp)
 	if err != nil {
-		log.Fatalf("verification failed: %v", err)
+		fatalf("verification failed: %v", err)
 	}
 	fmt.Println("detector verified ✔ (◇HP̄ + HΩ)")
 	fmt.Printf("  ◇HP̄ stabilized:  t=%d\n", res.TrustedStabilization)

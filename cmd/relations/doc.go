@@ -1,0 +1,6 @@
+// Command relations executes and verifies every failure-detector reduction
+// of the paper's Figure 5 diagram (plus the composites), printing the
+// machine-checked relation matrix.
+//
+//	go run ./cmd/relations [-seeds 4]
+package main

@@ -47,7 +47,7 @@ func main() {
 	fmt.Printf("\n%d of %d motes crashed — far beyond a majority.\n", len(crashes), n)
 	fmt.Println("consensus reached ✔ (Figure 9: any number of crashes)")
 	fmt.Printf("  agreed reading:    %s\n", report.Value)
-	fmt.Printf("  surviving motes:   %d, all decided\n", report.Deciders)
+	fmt.Printf("  deciders:          %d of %d (motes that decided before dying count too)\n", report.Deciders, n)
 	fmt.Printf("  rounds needed:     %d\n", report.MaxRound)
 	fmt.Printf("  broadcasts:        %d\n", stats.Broadcasts)
 }

@@ -152,6 +152,11 @@ type Fig8Experiment struct {
 	Seed      int64
 	// Horizon caps virtual time (default 1e6).
 	Horizon Time
+	// Trace, when non-nil, replaces the default stats-only recorder: pass
+	// a retaining recorder for a full in-memory trace, or one with a
+	// trace.Sink attached to stream batches (spill mode). The caller owns
+	// flushing.
+	Trace *trace.Recorder
 }
 
 // RunFig8 executes the experiment, verifies Termination/Validity/Agreement
@@ -171,7 +176,7 @@ func RunFig8(e Fig8Experiment) (Report, Stats, error) {
 	if e.Horizon == 0 {
 		e.Horizon = 1_000_000
 	}
-	rec := &trace.Recorder{}
+	rec := traceRecorder(e.Trace)
 	eng := sim.New(sim.Config{IDs: e.IDs, Net: e.Net, Seed: e.Seed, KnownN: true, Recorder: rec})
 	truth := fd.NewGroundTruth(e.IDs, e.Crashes)
 	world := oracle.NewWorld(truth, e.Stabilize)
@@ -227,6 +232,9 @@ type Fig9Experiment struct {
 	Proposals         []Value
 	Seed              int64
 	Horizon           Time
+	// Trace, when non-nil, replaces the default stats-only recorder (see
+	// Fig8Experiment.Trace).
+	Trace *trace.Recorder
 }
 
 // RunFig9 executes the experiment and verifies the consensus properties.
@@ -245,7 +253,7 @@ func RunFig9(e Fig9Experiment) (Report, Stats, error) {
 	if e.Horizon == 0 {
 		e.Horizon = 1_000_000
 	}
-	rec := &trace.Recorder{}
+	rec := traceRecorder(e.Trace)
 	eng := sim.New(sim.Config{IDs: e.IDs, Net: e.Net, Seed: e.Seed, Recorder: rec})
 	truth := fd.NewGroundTruth(e.IDs, e.Crashes)
 	world := oracle.NewWorld(truth, e.Stabilize)
@@ -346,4 +354,15 @@ func validateExperiment(ids Assignment, crashes map[PID]Time, proposals []Value)
 		}
 	}
 	return nil
+}
+
+// traceRecorder returns the recorder an experiment runs with: the caller-
+// provided one (which may retain events in memory or stream them through a
+// trace.Sink) or the stats-only default. Runners read Stats from it either
+// way; callers that attach a sink flush it themselves after the run.
+func traceRecorder(custom *trace.Recorder) *trace.Recorder {
+	if custom != nil {
+		return custom
+	}
+	return &trace.Recorder{}
 }

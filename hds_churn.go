@@ -28,6 +28,9 @@ type ChurnOHPExperiment struct {
 	Horizon Time
 	// MaxEvents overrides the engine's runaway guard (0 = engine default).
 	MaxEvents int
+	// Trace, when non-nil, replaces the default stats-only recorder (see
+	// OHPExperiment.Trace).
+	Trace *trace.Recorder
 }
 
 // ChurnOHPResult reports the verified churn run.
@@ -66,7 +69,7 @@ func RunChurnOHP(e ChurnOHPExperiment) (ChurnOHPResult, error) {
 		net = sim.PartialSync{Delta: 3}
 	}
 	n := e.IDs.N()
-	rec := &trace.Recorder{}
+	rec := traceRecorder(e.Trace)
 	eng := sim.New(sim.Config{IDs: e.IDs, Net: net, Seed: e.Seed, Recorder: rec, MaxEvents: e.MaxEvents})
 	dets := make([]*ohp.Detector, n)
 	for i := range dets {
@@ -139,6 +142,9 @@ type HeartbeatExperiment struct {
 	Horizon Time
 	// MaxEvents overrides the engine's runaway guard (0 = engine default).
 	MaxEvents int
+	// Trace, when non-nil, replaces the default stats-only recorder (see
+	// OHPExperiment.Trace).
+	Trace *trace.Recorder
 }
 
 // HeartbeatResult reports one heartbeat-churn run.
@@ -212,7 +218,7 @@ func RunHeartbeatChurn(e HeartbeatExperiment) (HeartbeatResult, error) {
 		net = sim.Async{MaxDelay: 8}
 	}
 	n := e.IDs.N()
-	rec := &trace.Recorder{} // stats only: KeepEvents=false keeps big n cheap
+	rec := traceRecorder(e.Trace) // default is stats-only: keeps big n cheap
 	eng := sim.New(sim.Config{IDs: e.IDs, Net: net, Seed: e.Seed, Recorder: rec, MaxEvents: e.MaxEvents})
 	for i := 0; i < n; i++ {
 		eng.AddProcess(&heartbeater{period: e.Period})

@@ -26,6 +26,11 @@ type OHPExperiment struct {
 	Seed int64
 	// Horizon caps virtual time (default 5000).
 	Horizon Time
+	// Trace, when non-nil, replaces the default stats-only recorder: pass
+	// a retaining recorder for a full in-memory trace, or one with a
+	// trace.Sink attached to stream batches (spill mode). The caller owns
+	// flushing.
+	Trace *trace.Recorder
 }
 
 // OHPResult reports the verified detector run.
@@ -58,7 +63,7 @@ func RunOHP(e OHPExperiment) (OHPResult, error) {
 	if net == nil {
 		net = sim.PartialSync{GST: e.GST, Delta: e.Delta}
 	}
-	rec := &trace.Recorder{}
+	rec := traceRecorder(e.Trace)
 	eng := sim.New(sim.Config{
 		IDs:      e.IDs,
 		Net:      net,

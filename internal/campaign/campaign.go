@@ -1,32 +1,3 @@
-// Package campaign shards experiment campaigns into checkpointed,
-// resumable batches on top of the internal/sweep pool.
-//
-// A campaign is a named, ordered list of n independent scenarios whose
-// results aggregate into one table. The sweep layer already fans the
-// scenarios of one process across cores; the campaign layer is the next
-// scale step: it splits the input index range into deterministic
-// contiguous shards, runs each shard through sweep, and (optionally)
-// persists every shard as a JSON checkpoint file carrying the campaign
-// id, the shard's input range, the per-scenario result rows, and a
-// SHA-256 digest. A merge step reassembles the shards in input order and
-// refuses missing, truncated, corrupt, or mismatched-digest checkpoints;
-// resume skips shards whose checkpoint already verifies, so a killed
-// campaign restarts exactly where it stopped.
-//
-// # Determinism contract
-//
-// The contract extends sweep's end to end: provided f is deterministic
-// per input index, a campaign run as one serial shard, as N shards inside
-// one process, or as N shards in separate processes merged from their
-// checkpoints produces identical rows and an identical campaign digest —
-// for every worker count. To make the contract hold byte for byte, every
-// row is normalized through its canonical JSON encoding in all modes
-// (in-memory runs included), so a row type R must round-trip through
-// encoding/json losslessly ([]string and flat structs of strings and
-// integers do; float NaNs and unexported state do not).
-//
-// The default configuration (one shard, no checkpoint directory) stays a
-// plain in-memory sweep and creates no files.
 package campaign
 
 import (

@@ -1,0 +1,6 @@
+// Package check verifies consensus executions against the problem's three
+// properties (§5.1): Termination (every correct process decides), Validity
+// (every decided value was proposed), and Agreement (no two processes
+// decide differently). It also rejects decisions on the reserved ⊥ value,
+// which Fig. 8/9 must never emit (their validity proofs hinge on it).
+package check

@@ -1,4 +1,3 @@
-// Package cliutil holds small helpers shared by the command-line tools.
 package cliutil
 
 import (

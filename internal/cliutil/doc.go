@@ -1,0 +1,2 @@
+// Package cliutil holds small helpers shared by the command-line tools.
+package cliutil

@@ -1,26 +1,3 @@
-// Package core implements the paper's two consensus algorithms for
-// homonymous asynchronous systems (§5):
-//
-//   - Fig8: consensus in HAS[t < n/2, HΩ] — the system size n is known, a
-//     majority of processes is correct, and the only failure detector is a
-//     detector of class HΩ (Theorem 7).
-//   - Fig9: consensus in HAS[HΩ, HΣ] — any number of crashes, membership
-//     and n unknown, using detectors of classes HΩ and HΣ (Theorem 8).
-//     Fig9 also provides the anonymous baseline variant the paper derives
-//     it from (AΩ leadership, no Leaders' Coordination Phase).
-//
-// Both algorithms proceed in rounds of four phases. The Leaders'
-// Coordination Phase is the paper's key addition for homonymy: HΩ elects a
-// set of homonymous leaders (all correct holders of one identifier), and
-// before proposing they exchange COORD messages until each has heard all
-// h_multiplicity co-leaders and adopted the minimum estimate — from then on
-// the leader group speaks with one voice and the anonymous-system protocols
-// the algorithms descend from ([4], [3]/[6]) apply unchanged.
-//
-// The implementations are event-driven state machines for the simulator:
-// every paper "wait until" is a guard re-evaluated whenever a message
-// arrives, a timer fires, or a co-located failure-detector module changes
-// output (sim.Poller).
 package core
 
 import (

@@ -1,0 +1,19 @@
+// Package experiments regenerates, as printable tables, the evaluation of
+// every figure and theorem of the paper (experiment index E1–E13 in
+// DESIGN.md), the ablations E14–E17, and the scenario-space sweeps E18
+// (crash-recovery churn up to n=1000) and E19 (heavy-tail delay
+// ablation). The paper is a theory paper — its figures are algorithms —
+// so each experiment demonstrates the proved behaviour quantitatively:
+// stabilization times, message costs, decision rounds, and how they scale
+// with n, the homonymy degree ℓ, GST, δ, and the crash pattern.
+//
+// All runs are seeded and deterministic: `go run ./cmd/experiments`
+// reproduces EXPERIMENTS.md verbatim. Every table's scenario list runs
+// through the internal/campaign layer (table id = campaign id), which in
+// turn fans scenarios across cores through internal/sweep. In the default
+// configuration — one shard, no checkpoint directory — that is a plain
+// in-memory sweep; SetCampaign switches the whole suite to sharded,
+// checkpointed, resumable execution. By the campaign determinism contract
+// the tables are byte-identical for every worker count, shard count, and
+// process count (including -workers 1 and single-shard runs).
+package experiments

@@ -1,19 +1,3 @@
-// Package experiments regenerates, as printable tables, the evaluation of
-// every figure and theorem of the paper (experiment index E1–E13 in
-// DESIGN.md). The paper is a theory paper — its figures are algorithms —
-// so each experiment demonstrates the proved behaviour quantitatively:
-// stabilization times, message costs, decision rounds, and how they scale
-// with n, the homonymy degree ℓ, GST, δ, and the crash pattern.
-//
-// All runs are seeded and deterministic: `go run ./cmd/experiments`
-// reproduces EXPERIMENTS.md verbatim. Every table's scenario list runs
-// through the internal/campaign layer (table id = campaign id), which in
-// turn fans scenarios across cores through internal/sweep. In the default
-// configuration — one shard, no checkpoint directory — that is a plain
-// in-memory sweep; SetCampaign switches the whole suite to sharded,
-// checkpointed, resumable execution. By the campaign determinism contract
-// the tables are byte-identical for every worker count, shard count, and
-// process count (including -workers 1 and single-shard runs).
 package experiments
 
 import (

@@ -1,12 +1,3 @@
-// Package alive implements the paper's Figure 3: a failure detector of
-// class 𝔈 (Definition 1) for asynchronous systems with unique identifiers
-// AS[∅], without initial knowledge of the membership.
-//
-// Every process repeatedly broadcasts ALIVE(id(p)); on receiving ALIVE(i),
-// the receiver moves i to the first position of its alive list (inserting
-// it if absent). A crashed process eventually stops being refreshed, so its
-// identifier sinks below every correct identifier: eventually the correct
-// identifiers permanently occupy the prefix of the list (Lemma 1).
 package alive
 
 import (
@@ -51,13 +42,13 @@ func New(pollInterval sim.Time) *Detector {
 // Init implements sim.Process: it starts Task T1 (periodic ALIVE).
 func (d *Detector) Init(env sim.Environment) {
 	d.env = env
-	env.Broadcast(Msg{ID: env.ID()})
+	env.Broadcast(sim.Intern(env, Msg{ID: env.ID()}))
 	env.SetTimer(d.poll, 0)
 }
 
 // OnTimer implements sim.Process (Task T1's "repeat forever").
 func (d *Detector) OnTimer(tag int) {
-	d.env.Broadcast(Msg{ID: d.env.ID()})
+	d.env.Broadcast(sim.Intern(d.env, Msg{ID: d.env.ID()}))
 	d.env.SetTimer(d.poll, tag)
 }
 

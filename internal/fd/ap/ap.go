@@ -1,16 +1,3 @@
-// Package ap implements the anonymous failure detector class AP of Bonnet
-// and Raynal ([5] in the paper): each process outputs an upper bound on the
-// number of currently alive processes that eventually becomes, forever, the
-// exact number of correct processes.
-//
-// The paper uses AP as a reduction source (Lemmas 2–3: AP → ◇HP̄ and
-// AP → HΣ in anonymous systems) and notes that AP is implementable in
-// synchronous anonymous systems but not in most partially synchronous ones.
-// This package provides the synchronous implementation: in each lock-step
-// step every process broadcasts ALIVE and outputs the number of messages it
-// received in that step — a snapshot of the alive population, which is
-// always an upper bound on the future alive population and is exact one
-// step after the last crash.
 package ap
 
 import (

@@ -1,0 +1,12 @@
+// Package fd defines the failure detector classes the paper works with —
+// both the previously known ones (◇P̄, Σ, Ω, AΩ, AP, AΣ, and the class 𝔈
+// the paper formalizes in Definition 1) and the new homonymous classes
+// (◇HP̄, HΩ, HΣ) — together with trace-based property checkers that verify
+// the class axioms on recorded executions.
+//
+// A failure detector is a distributed oracle: each process owns local
+// output variables that the detector updates over time. In this codebase a
+// detector instance is the per-process object; algorithms query it through
+// the small interfaces below, and the simulator's observers sample those
+// same interfaces to feed the checkers.
+package fd

@@ -1,0 +1,13 @@
+// Package hsigma implements the paper's Figure 7: a failure detector of
+// class HΣ in the synchronous homonymous system HSS[∅], without initial
+// knowledge of the membership (Theorem 6).
+//
+// In every synchronous step each process broadcasts IDENT(id(p)), waits for
+// the step's messages, and gathers the received identifiers into a multiset
+// mset. The multiset itself serves as the label of a new quorum pair
+// (mset, mset) added to h_quora, and mset is added to h_labels. One step
+// after the last crash, every correct process observes exactly I(Correct),
+// which yields the liveness quorum; safety follows because any two gathered
+// multisets were complete snapshots that both contain every correct
+// process.
+package hsigma

@@ -1,0 +1,26 @@
+// Package ohp implements the paper's Figure 6: a failure detector of class
+// ◇HP̄ in the partially synchronous homonymous system HPS[∅] (processes
+// partially synchronous, links eventually timely), without initial
+// knowledge of the membership (Theorem 5). With the trivial extension of
+// Corollary 2 / Observation 1 the same detector also provides class HΩ at
+// no additional communication cost.
+//
+// The algorithm is polling-based and proceeds in locally-paced rounds:
+//
+//   - Task T1: in round r, broadcast (POLLING, r, id(p)), wait timeoutₚ,
+//     then gather into h_trustedₚ one identifier instance per
+//     (P_REPLY, ρ, ρ′, id(p), id(q)) received with ρ ≤ r ≤ ρ′.
+//   - Task T2: upon (POLLING, r_q, id_q), reply once per identifier with a
+//     (P_REPLY, latest+1, r_q, id_q, id(p)) covering all rounds not yet
+//     answered for identifier id_q; track latest_r[id_q]. Replies are
+//     broadcast, so all homonyms of id_q benefit from one reply.
+//   - Adaptation: receiving a P_REPLY addressed to id(p) for an
+//     already-finished round (ρ < rₚ) reveals the timeout is too short and
+//     increments it. After GST the timeout stops growing (Lemma 5) and
+//     h_trustedₚ equals I(Correct) forever (Theorem 5).
+//
+// Because replies are addressed to identifiers rather than processes, the
+// multiplicity of id(q) gathered in a round equals the number of distinct
+// responding processes carrying id(q) — which is how the output converges
+// to the multiset I(Correct) rather than a set.
+package ohp

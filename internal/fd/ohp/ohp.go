@@ -1,28 +1,3 @@
-// Package ohp implements the paper's Figure 6: a failure detector of class
-// ◇HP̄ in the partially synchronous homonymous system HPS[∅] (processes
-// partially synchronous, links eventually timely), without initial
-// knowledge of the membership (Theorem 5). With the trivial extension of
-// Corollary 2 / Observation 1 the same detector also provides class HΩ at
-// no additional communication cost.
-//
-// The algorithm is polling-based and proceeds in locally-paced rounds:
-//
-//   - Task T1: in round r, broadcast (POLLING, r, id(p)), wait timeoutₚ,
-//     then gather into h_trustedₚ one identifier instance per
-//     (P_REPLY, ρ, ρ′, id(p), id(q)) received with ρ ≤ r ≤ ρ′.
-//   - Task T2: upon (POLLING, r_q, id_q), reply once per identifier with a
-//     (P_REPLY, latest+1, r_q, id_q, id(p)) covering all rounds not yet
-//     answered for identifier id_q; track latest_r[id_q]. Replies are
-//     broadcast, so all homonyms of id_q benefit from one reply.
-//   - Adaptation: receiving a P_REPLY addressed to id(p) for an
-//     already-finished round (ρ < rₚ) reveals the timeout is too short and
-//     increments it. After GST the timeout stops growing (Lemma 5) and
-//     h_trustedₚ equals I(Correct) forever (Theorem 5).
-//
-// Because replies are addressed to identifiers rather than processes, the
-// multiplicity of id(q) gathered in a round equals the number of distinct
-// responding processes carrying id(q) — which is how the output converges
-// to the multiset I(Correct) rather than a set.
 package ohp
 
 import (
@@ -128,7 +103,7 @@ func NewFixedTimeout(timeout sim.Time) *Detector {
 // Init implements sim.Process: start round 1.
 func (d *Detector) Init(env sim.Environment) {
 	d.env = env
-	env.Broadcast(Polling{Round: d.round, ID: env.ID()})
+	env.Broadcast(sim.Intern(env, Polling{Round: d.round, ID: env.ID()}))
 	env.SetTimer(d.timeout, d.epoch)
 }
 
@@ -142,7 +117,7 @@ func (d *Detector) OnRecover() {
 	d.round++
 	d.resync = true
 	d.pending = d.pending[:0]
-	d.env.Broadcast(Polling{Round: d.round, ID: d.env.ID()})
+	d.env.Broadcast(sim.Intern(d.env, Polling{Round: d.round, ID: d.env.ID()}))
 	d.env.SetTimer(d.timeout, d.epoch)
 }
 
@@ -176,7 +151,7 @@ func (d *Detector) OnTimer(tag int) {
 	}
 	d.pending = kept
 
-	d.env.Broadcast(Polling{Round: d.round, ID: d.env.ID()})
+	d.env.Broadcast(sim.Intern(d.env, Polling{Round: d.round, ID: d.env.ID()}))
 	d.env.SetTimer(d.timeout, d.epoch)
 }
 
@@ -196,6 +171,9 @@ func (d *Detector) onPolling(m Polling) {
 		d.latestR[m.ID] = 0
 	}
 	if d.latestR[m.ID] < m.Round {
+		// Replies are NOT interned: their covered interval makes most
+		// values unique, so the arena would retain entries it rarely hits
+		// (Polling repeats across homonyms and is interned instead).
 		d.env.Broadcast(Reply{
 			From:   d.latestR[m.ID] + 1,
 			To:     m.Round,

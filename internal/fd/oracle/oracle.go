@@ -1,17 +1,3 @@
-// Package oracle provides failure detectors driven by the simulator's
-// global knowledge instead of messages. Oracles serve two purposes:
-//
-//   - They let each consensus algorithm be exercised against the detector
-//     *class* rather than one implementation: before a configurable
-//     stabilization time the oracle may emit arbitrary (adversarial)
-//     outputs that the class permits, and only afterwards the stable ones.
-//   - They provide the reduction sources (AP, AΣ, Σ) whose own
-//     implementations the paper does not include.
-//
-// An oracle is constructed per process from a shared World describing the
-// ground truth. Oracles exchange no messages; their cost is zero, which
-// makes consensus-layer costs in experiments attributable to consensus
-// alone.
 package oracle
 
 import (

@@ -1,0 +1,13 @@
+// Package hruntime is a live, goroutine-per-process runtime for the
+// paper's algorithms: real concurrency, real channels, real timeouts. It
+// is the second rendering of the system model next to the deterministic
+// simulator (internal/sim) — the algorithms keep the paper's blocking
+// "wait until" shape here, and the two implementations cross-validate each
+// other. The partialsync example runs on this runtime.
+//
+// A Cluster is the broadcast network: it owns one inbox per process and
+// delivers every broadcast copy after a per-copy random delay, optionally
+// with partially-synchronous semantics (copies sent before GST may be
+// dropped; copies sent after are delivered within Delta). Crashing a
+// process stops its deliveries and its sends, as in the model.
+package hruntime

@@ -1,0 +1,11 @@
+// Package ident models process identities in homonymous systems.
+//
+// A system has n processes; id(p) assigns each process an identifier, and
+// several processes may share one (homonymy). The two extremes are the
+// classical unique-identifier system (ℓ = n distinct identifiers) and the
+// anonymous system (ℓ = 1; every process carries the default identifier ⊥).
+// Assignment is a deployment-time decision, so this package provides the
+// assignment schemes the paper's motivation section describes:
+// misconfiguration duplicates, per-domain identifiers, randomly generated
+// identifiers, and sensor-network style constrained identifier spaces.
+package ident

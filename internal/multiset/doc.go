@@ -1,0 +1,9 @@
+// Package multiset implements a generic multiset (bag), the identifier
+// algebra the paper builds on: for a set of processes S, I(S) is the
+// multiset of process identities in S, and mult_I(i) is the multiplicity of
+// identity i in I. Because several homonymous processes can carry the same
+// identity, |I(S)| counts instances, so |I(S)| = |S| always holds.
+//
+// The zero value of Multiset is not ready to use; call New or From.
+// All operations are non-destructive unless documented otherwise.
+package multiset

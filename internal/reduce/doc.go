@@ -1,0 +1,11 @@
+// Package reduce implements the paper's reductions between failure
+// detector classes (§3.3): the algorithms of Figures 1, 2 and 4, the local
+// transformations of Theorem 3, Lemmas 2–3 and Observation 1, and a
+// machine-checked relation matrix covering the Figure 5 diagram.
+//
+// A reduction builds (emulates) a detector of a target class from a
+// detector of a source class, sometimes with communication. Reductions are
+// simulator modules; the emulated detector is queried through the same
+// fd interfaces as native implementations, so the same property checkers
+// certify them.
+package reduce

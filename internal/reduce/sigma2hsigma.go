@@ -1,13 +1,3 @@
-// Package reduce implements the paper's reductions between failure
-// detector classes (§3.3): the algorithms of Figures 1, 2 and 4, the local
-// transformations of Theorem 3, Lemmas 2–3 and Observation 1, and a
-// machine-checked relation matrix covering the Figure 5 diagram.
-//
-// A reduction builds (emulates) a detector of a target class from a
-// detector of a source class, sometimes with communication. Reductions are
-// simulator modules; the emulated detector is queried through the same
-// fd interfaces as native implementations, so the same property checkers
-// certify them.
 package reduce
 
 import (
@@ -137,14 +127,14 @@ func NewSigmaToHSigmaUnknown(source fd.Sigma, poll sim.Time) *SigmaToHSigmaUnkno
 // Init implements sim.Process.
 func (m *SigmaToHSigmaUnknown) Init(env sim.Environment) {
 	m.env = env
-	env.Broadcast(IdentMsg{ID: env.ID()})
+	env.Broadcast(sim.Intern(env, IdentMsg{ID: env.ID()}))
 	m.sample()
 	env.SetTimer(m.poll, 0)
 }
 
 // OnTimer implements sim.Process (Task T1).
 func (m *SigmaToHSigmaUnknown) OnTimer(tag int) {
-	m.env.Broadcast(IdentMsg{ID: m.env.ID()})
+	m.env.Broadcast(sim.Intern(m.env, IdentMsg{ID: m.env.ID()}))
 	m.sample()
 	m.env.SetTimer(m.poll, tag)
 }

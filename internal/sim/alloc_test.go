@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// allocPing is a non-empty payload: boxing it into `any` without the arena
+// costs one heap allocation per conversion, which is exactly what the
+// zero-allocation assertions below would catch.
+type allocPing struct {
+	Round int
+}
+
+func (allocPing) MsgTag() string { return "ALLOC_PING" }
+
+// pinger broadcasts the same interned payload every period.
+type pinger struct {
+	env   Environment
+	heard int
+}
+
+func (p *pinger) Init(env Environment) {
+	p.env = env
+	env.SetTimer(5, 0)
+}
+
+func (p *pinger) OnMessage(any) { p.heard++ }
+
+func (p *pinger) OnTimer(int) {
+	p.env.Broadcast(Intern(p.env, allocPing{Round: 7}))
+	p.env.SetTimer(5, 0)
+}
+
+// TestUntracedDeliverZeroAlloc pins the PR's headline contract: at steady
+// state, the untraced deliver path (broadcast fan-out, queue churn,
+// payload table, delivery dispatch) performs zero heap allocations per
+// run segment. Warm-up grows the queue, payload table, and arena to their
+// steady-state capacities first.
+func TestUntracedDeliverZeroAlloc(t *testing.T) {
+	const n = 8
+	eng := New(Config{IDs: ident.Unique(n), Net: Async{MaxDelay: 4}, Seed: 42})
+	for i := 0; i < n; i++ {
+		eng.AddProcess(&pinger{})
+	}
+	horizon := Time(1000)
+	eng.Run(horizon) // warm-up: reach steady-state capacities
+
+	before := eng.Processed()
+	avg := testing.AllocsPerRun(20, func() {
+		horizon += 200
+		eng.Run(horizon)
+	})
+	if eng.Processed() == before {
+		t.Fatal("measurement processed no events")
+	}
+	if avg != 0 {
+		t.Fatalf("untraced deliver path allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
+// TestInternCanonical pins the arena contract: equal values yield the
+// same box, distinct values distinct boxes, and distinct engines do not
+// share arenas.
+func TestInternCanonical(t *testing.T) {
+	mk := func() *Engine {
+		eng := New(Config{IDs: ident.Unique(1), Seed: 1})
+		eng.AddProcess(&pinger{})
+		return eng
+	}
+	e1, e2 := mk(), mk()
+	env1, env2 := e1.Env(0), e2.Env(0)
+
+	a := Intern(env1, allocPing{Round: 3})
+	if a != (allocPing{Round: 3}) {
+		t.Fatal("interned box must hold the value")
+	}
+	if Intern(env1, allocPing{Round: 4}) == a {
+		t.Fatal("distinct values must not share a box")
+	}
+	// Re-interning an existing value returns the canonical box without
+	// boxing again — the zero-allocation property everything rests on.
+	if avg := testing.AllocsPerRun(100, func() { _ = Intern(env1, allocPing{Round: 3}) }); avg != 0 {
+		t.Fatalf("interned lookup allocates %.1f allocs/run, want 0", avg)
+	}
+	_ = Intern(env2, allocPing{Round: 3}) // different engine: separate arena
+	if len(e1.arena.tables) != 1 || len(e2.arena.tables) != 1 {
+		t.Fatal("arenas must be per-engine")
+	}
+}
+
+// nonInterner is an Environment without an engine arena behind it.
+type nonInterner struct{ Environment }
+
+// TestInternFallback pins that Intern degrades to plain boxing for
+// environments that do not reach an arena, and when the per-type cap is
+// exhausted.
+func TestInternFallback(t *testing.T) {
+	v := Intern(nonInterner{}, allocPing{Round: 1})
+	if v != (allocPing{Round: 1}) {
+		t.Fatal("fallback must still box the value")
+	}
+
+	eng := New(Config{IDs: ident.Unique(1), Seed: 1})
+	eng.AddProcess(&pinger{})
+	env := eng.Env(0)
+	for i := 0; i < arenaMaxPerType; i++ {
+		Intern(env, allocPing{Round: i})
+	}
+	if got := Intern(env, allocPing{Round: arenaMaxPerType + 1}); got != (allocPing{Round: arenaMaxPerType + 1}) {
+		t.Fatal("cap overflow must still box the value")
+	}
+	m := eng.arena.tables[reflect.TypeFor[allocPing]()].(map[allocPing]any)
+	if len(m) != arenaMaxPerType {
+		t.Fatalf("arena grew past its cap: %d entries", len(m))
+	}
+	// Existing entries keep being served without re-boxing.
+	if avg := testing.AllocsPerRun(100, func() { _ = Intern(env, allocPing{Round: 5}) }); avg != 0 {
+		t.Fatalf("post-cap interned lookup allocates %.1f allocs/run, want 0", avg)
+	}
+}
+
+// sliceMsg is deliberately non-comparable: interning it through a map key
+// would panic, so the node's envelope interning must skip it.
+type sliceMsg struct {
+	Vals []int
+}
+
+type sliceSender struct {
+	env  Environment
+	got  int
+	send bool
+}
+
+func (s *sliceSender) Init(env Environment) {
+	s.env = env
+	if s.send {
+		env.Broadcast(sliceMsg{Vals: []int{1, 2}})
+	}
+}
+
+func (s *sliceSender) OnMessage(payload any) {
+	if m, ok := payload.(sliceMsg); ok && len(m.Vals) == 2 {
+		s.got++
+	}
+}
+
+func (s *sliceSender) OnTimer(int) {}
+
+// TestNodeNonComparablePayload pins the envelope-interning guard: modules
+// broadcasting non-comparable payloads must not panic and must still
+// deliver.
+func TestNodeNonComparablePayload(t *testing.T) {
+	const n = 3
+	eng := New(Config{IDs: ident.Unique(n), Net: Timely{Delta: 1}, Seed: 7})
+	senders := make([]*sliceSender, n)
+	for i := 0; i < n; i++ {
+		senders[i] = &sliceSender{send: i == 0}
+		node := NewNode().Add("m", senders[i])
+		eng.AddProcess(node)
+	}
+	eng.Run(50)
+	for i, s := range senders {
+		if s.got != 1 {
+			t.Fatalf("process %d received %d slice messages, want 1", i, s.got)
+		}
+	}
+}
+
+// TestStatsOnlyMatchesRetainedStats pins that the retention-aware lazy
+// formatting did not change what is counted: the same seeded scenario run
+// with a stats-only recorder and with a retaining recorder yields equal
+// statistics, and the retained trace renders byte-identically to a
+// spilled one.
+func TestStatsOnlyMatchesRetainedStats(t *testing.T) {
+	run := func(rec *trace.Recorder) {
+		eng := New(Config{IDs: ident.Unique(5), Net: Async{MaxDelay: 3}, Seed: 11, Recorder: rec})
+		for i := 0; i < 5; i++ {
+			eng.AddProcess(&pinger{})
+		}
+		eng.CrashAt(2, 40)
+		eng.RecoverAt(2, 60)
+		eng.Run(200)
+	}
+
+	statsOnly := &trace.Recorder{}
+	run(statsOnly)
+
+	retained := trace.NewRecorder()
+	retained.BufSize = 32 // force many wraparounds
+	run(retained)
+
+	var spillBuf bytes.Buffer
+	spilled := trace.NewSpillRecorder(trace.NewWriterSink(&spillBuf), 32)
+	run(spilled)
+	if err := spilled.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	so, re, sp := statsOnly.Stats(), retained.Stats(), spilled.Stats()
+	if fmt.Sprintf("%+v", so) != fmt.Sprintf("%+v", re) || fmt.Sprintf("%+v", re) != fmt.Sprintf("%+v", sp) {
+		t.Fatalf("stats diverge across recorder modes:\nstats-only: %+v\n  retained: %+v\n   spilled: %+v", so, re, sp)
+	}
+
+	var rendered bytes.Buffer
+	if err := trace.WriteText(&rendered, retained.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rendered.Bytes(), spillBuf.Bytes()) {
+		t.Fatal("spilled trace differs from rendered retained trace")
+	}
+}

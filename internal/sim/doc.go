@@ -1,0 +1,44 @@
+// Package sim is a deterministic discrete-event simulator for homonymous
+// message-passing systems, the substrate every algorithm in this repository
+// runs on. It reproduces the paper's system model (§2):
+//
+//   - n processes Π, each knowing only its own identifier id(p); several
+//     processes may share an identifier (homonymy). Internal process indexes
+//     (PIDs) are a formalization tool and are never visible to algorithms.
+//   - communication by broadcast(m): one copy of m is sent along the
+//     directed link from the sender to every process, including itself; a
+//     receiver cannot tell which link a message arrived on.
+//   - crash failures: a crashed process stops taking steps; a process that
+//     crashes while broadcasting delivers to an arbitrary subset. Beyond
+//     the paper, the engine also runs crash-recovery churn (RecoverAt,
+//     ChurnSpec schedules): recovery resumes the process where it paused,
+//     and Recoverer implementations restart their timer chains.
+//   - timing models: HAS (asynchronous, reliable links), HPS (partially
+//     synchronous: messages sent after an unknown GST are delivered within
+//     an unknown bound δ; earlier messages may be lost or delayed
+//     arbitrarily but finitely), and HSS (synchronous lock-step; see the
+//     SyncEngine in sync.go). models.go adds heavy-tailed, time-varying,
+//     and per-link-asymmetric delay models for scenario sweeps.
+//
+// Executions are driven by a single seeded event queue, so every run is
+// reproducible and costs (messages, virtual stabilization times) are exact.
+//
+// # Hot-path design
+//
+// The deliver path is built to allocate nothing at steady state:
+//
+//   - queue events are 32-byte values in a 4-ary min-heap — no per-event
+//     heap allocation, no pointer chasing;
+//   - all fan-out copies of one broadcast share a single refcounted slot in
+//     the engine's payload table (freed to a freelist when the last copy
+//     pops), instead of carrying the boxed payload once per copy;
+//   - repeated payload values can be interned through the engine's
+//     type-indexed arena (Intern), so periodic algorithms do not re-box
+//     their messages every period;
+//   - trace costs are pay-for-what-you-use: with a nil trace.Recorder the
+//     engine formats nothing and computes no tags, and with a stats-only
+//     recorder it counts event kinds without building tag/detail strings.
+//
+// TestUntracedDeliverZeroAlloc pins the zero-allocation property with
+// testing.AllocsPerRun.
+package sim

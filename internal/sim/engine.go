@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
-	"strconv"
 	"sync"
 
 	"repro/internal/ident"
@@ -32,7 +31,7 @@ type Config struct {
 	MaxEvents int
 }
 
-type eventKind int
+type eventKind int32
 
 const (
 	evDeliver eventKind = iota + 1
@@ -42,14 +41,17 @@ const (
 )
 
 // event is stored by value in the queue; scheduling one costs no heap
-// allocation beyond the queue slice's amortized growth.
+// allocation beyond the queue slice's amortized growth. The struct is kept
+// to 32 bytes — at n=1000 the queue holds millions of in-flight events, so
+// its footprint dominates a run's memory. Deliveries do not carry their
+// payload: all fan-out copies of one broadcast share a single refcounted
+// slot in the engine's payload table, referenced by arg.
 type event struct {
-	time    Time
-	seq     uint64 // tie-break: FIFO among simultaneous events
-	kind    eventKind
-	pid     PID
-	payload any // evDeliver
-	tag     int // evTimer
+	time Time
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	kind eventKind
+	pid  int32
+	arg  int32 // evDeliver: payload-table slot; evTimer: timer tag
 }
 
 // before is the total queue order: (time, seq) lexicographically. seq is
@@ -163,15 +165,27 @@ func (k schedKey) after(o schedKey) bool {
 // Distinct engines share nothing mutable, so independent engines may run
 // concurrently (see the sweep package).
 type Engine struct {
-	cfg     Config
-	ids     ident.Assignment
-	rng     *rand.Rand
-	rec     *trace.Recorder
-	queue   eventQueue
-	seq     uint64
-	now     Time
-	procs   []Process
-	envs    []*Env
+	cfg   Config
+	ids   ident.Assignment
+	rng   *rand.Rand
+	rec   *trace.Recorder
+	queue eventQueue
+	seq   uint64
+	now   Time
+	procs []Process
+	envs  []*Env
+	// retain caches rec.Retaining() for the run: when the recorder keeps
+	// statistics only, the engine skips all per-event tag/detail formatting
+	// (broadcast tags are still computed — the ByTag statistic needs them).
+	retain bool
+	// payloads is the broadcast payload table: every fan-out copy of one
+	// broadcast references the same slot, which is freed to the freelist
+	// when its last copy pops. At steady state delivery costs no payload
+	// storage beyond one slot per in-flight broadcast.
+	payloads  []payloadSlot
+	freeSlots []int32
+	// arena interns boxed payloads by (type, value) — see Intern.
+	arena   payloadArena
 	crashed []bool
 	// everCrashed[p] is sticky: recovery clears crashed[p] but never this.
 	// CorrectSet ("correct = never crashes") keys off it.
@@ -281,7 +295,7 @@ func (e *Engine) CrashAt(p PID, t Time) {
 	if k := (schedKey{t: t, seq: int64(e.seq), set: true}); k.after(e.lastCrash[p]) || !e.lastCrash[p].set {
 		e.lastCrash[p] = k
 	}
-	e.push(event{time: t, kind: evCrash, pid: p})
+	e.push(event{time: t, kind: evCrash, pid: int32(p)})
 }
 
 // RecoverAt schedules process p to recover at time t: if it is down at that
@@ -297,7 +311,7 @@ func (e *Engine) RecoverAt(p PID, t Time) {
 	if k := (schedKey{t: t, seq: int64(e.seq), set: true}); k.after(e.lastRecover[p]) || !e.lastRecover[p].set {
 		e.lastRecover[p] = k
 	}
-	e.push(event{time: t, kind: evRecover, pid: p})
+	e.push(event{time: t, kind: evRecover, pid: int32(p)})
 }
 
 // CrashDuringBroadcast makes process p crash during its first broadcast at
@@ -451,6 +465,7 @@ func (e *Engine) start() {
 		panic(fmt.Sprintf("sim: %d processes bound, need %d", len(e.procs), e.ids.N()))
 	}
 	e.started = true
+	e.retain = e.rec.Retaining()
 	for p, proc := range e.procs {
 		if !e.crashed[p] {
 			proc.Init(e.envs[p])
@@ -460,61 +475,81 @@ func (e *Engine) start() {
 }
 
 // step processes the single earliest event. All trace construction sits
-// behind the nil-recorder check: with tracing off, processing an event
-// formats nothing and computes no tags.
+// behind the nil-recorder check, and all tag/detail formatting additionally
+// behind the retention check: with tracing off the engine formats nothing
+// and computes no tags, and with a stats-only recorder it counts kinds
+// without building strings.
 func (e *Engine) step() {
 	ev := e.pop()
 	e.now = ev.time
 	e.curSeq = int64(ev.seq)
 	e.processed++
+	pid := PID(ev.pid)
 	switch ev.kind {
 	case evCrash:
-		e.pendingCrash[ev.pid]--
-		if !e.crashed[ev.pid] {
-			e.crashed[ev.pid] = true
-			e.everCrashed[ev.pid] = true
+		e.pendingCrash[pid]--
+		if !e.crashed[pid] {
+			e.crashed[pid] = true
+			e.everCrashed[pid] = true
 			if e.rec != nil {
-				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(ev.pid)})
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(pid)})
 			}
 		}
 	case evRecover:
-		if e.crashed[ev.pid] {
-			e.crashed[ev.pid] = false
+		if e.crashed[pid] {
+			e.crashed[pid] = false
 			e.recoveries++
 			if e.rec != nil {
-				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindRecover, PID: int(ev.pid)})
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindRecover, PID: int(pid)})
 			}
-			if r, ok := e.procs[ev.pid].(Recoverer); ok {
+			if r, ok := e.procs[pid].(Recoverer); ok {
 				r.OnRecover()
 			}
 		}
 	case evDeliver:
-		if e.crashed[ev.pid] {
+		payload := e.takePayload(ev.arg)
+		if e.crashed[pid] {
 			if e.rec != nil {
-				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: int(ev.pid), MsgTag: tagOf(ev.payload), Detail: "recipient crashed"})
+				if e.retain {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: int(pid), MsgTag: tagOf(payload), Detail: "recipient crashed"})
+				} else {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: int(pid)})
+				}
 			}
 			break
 		}
 		if e.rec != nil {
-			e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDeliver, PID: int(ev.pid), MsgTag: tagOf(ev.payload)})
+			if e.retain {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDeliver, PID: int(pid), MsgTag: tagOf(payload)})
+			} else {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDeliver, PID: int(pid)})
+			}
 		}
-		e.procs[ev.pid].OnMessage(ev.payload)
+		e.procs[pid].OnMessage(payload)
 	case evTimer:
-		if e.crashed[ev.pid] {
+		if e.crashed[pid] {
 			// A timer on a down process is dropped, exactly like a message
 			// copy — and, like one, it leaves a trace: silently vanishing
 			// timers made crash interleavings unreproducible from traces.
 			if e.rec != nil {
-				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindTimerDrop, PID: int(ev.pid), Detail: "tag=" + strconv.Itoa(ev.tag)})
+				if e.retain {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindTimerDrop, PID: int(pid), Detail: timerDetail(int(ev.arg))})
+				} else {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindTimerDrop, PID: int(pid)})
+				}
 			}
 			break
 		}
 		if e.rec != nil {
-			e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindTimer, PID: int(ev.pid), Detail: "tag=" + strconv.Itoa(ev.tag)})
+			if e.retain {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindTimer, PID: int(pid), Detail: timerDetail(int(ev.arg))})
+			} else {
+				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindTimer, PID: int(pid)})
+			}
 		}
-		e.procs[ev.pid].OnTimer(ev.tag)
+		e.procs[pid].OnTimer(int(ev.arg))
 	}
-	e.notifyAfter(ev.pid)
+	e.notifyAfter(pid)
 }
 
 func (e *Engine) notifyAfter(p PID) {
@@ -531,14 +566,23 @@ func (e *Engine) broadcast(from PID, payload any) {
 	partial := pc != nil && e.now >= pc.after
 	var tag string
 	if e.rec != nil {
+		// The tag is computed even for stats-only recorders: the per-tag
+		// broadcast counts (Stats.ByTag) depend on it. tagOf is
+		// allocation-free for Tagger payloads and cached otherwise.
 		tag = tagOf(payload)
 		e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindBroadcast, PID: int(from), MsgTag: tag})
 	}
 	lm, perLink := e.cfg.Net.(LinkModel)
+	slot := e.allocSlot(payload)
+	copies := int32(0)
 	for to := range e.procs {
 		if partial && e.rng.Float64() >= pc.deliverProb {
 			if e.rec != nil {
-				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "sender crashed mid-broadcast"})
+				if e.retain {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "sender crashed mid-broadcast"})
+				} else {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to})
+				}
 			}
 			continue
 		}
@@ -551,14 +595,23 @@ func (e *Engine) broadcast(from PID, payload any) {
 		}
 		if !ok {
 			if e.rec != nil {
-				e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "lost"})
+				if e.retain {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "lost"})
+				} else {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to})
+				}
 			}
 			continue
 		}
 		if d < 1 {
 			d = 1
 		}
-		e.push(event{time: e.now + d, kind: evDeliver, pid: PID(to), payload: payload})
+		e.push(event{time: e.now + d, kind: evDeliver, pid: int32(to), arg: slot})
+		copies++
+	}
+	e.payloads[slot].refs = copies
+	if copies == 0 {
+		e.freeSlot(slot)
 	}
 	if partial {
 		e.partialCrash[from] = nil
@@ -581,7 +634,10 @@ func (e *Engine) setTimer(p PID, d Time, tag int) {
 	if d < 1 {
 		d = 1
 	}
-	e.push(event{time: e.now + d, kind: evTimer, pid: p, tag: tag})
+	if tag != int(int32(tag)) {
+		panic("sim: timer tag exceeds 32 bits")
+	}
+	e.push(event{time: e.now + d, kind: evTimer, pid: int32(p), arg: int32(tag)})
 }
 
 // push enqueues an event, clamping its time to the present: virtual time is
@@ -602,12 +658,42 @@ func (e *Engine) pop() event {
 	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{} // release the payload reference
 	e.queue = q[:n]
 	if n > 1 {
 		e.queue.down(0)
 	}
 	return top
+}
+
+// allocSlot stores a broadcast payload in the payload table and returns its
+// slot index. Slots are recycled through a freelist, so at steady state
+// broadcasting allocates nothing here.
+func (e *Engine) allocSlot(payload any) int32 {
+	if n := len(e.freeSlots); n > 0 {
+		s := e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+		e.payloads[s] = payloadSlot{payload: payload}
+		return s
+	}
+	e.payloads = append(e.payloads, payloadSlot{payload: payload})
+	return int32(len(e.payloads) - 1)
+}
+
+// takePayload reads a delivery's payload and releases one reference; the
+// last copy frees the slot (dropping the payload reference for the GC).
+func (e *Engine) takePayload(slot int32) any {
+	s := &e.payloads[slot]
+	payload := s.payload
+	s.refs--
+	if s.refs == 0 {
+		e.freeSlot(slot)
+	}
+	return payload
+}
+
+func (e *Engine) freeSlot(slot int32) {
+	e.payloads[slot] = payloadSlot{}
+	e.freeSlots = append(e.freeSlots, slot)
 }
 
 func (e *Engine) record(ev trace.Event) {

@@ -576,7 +576,7 @@ func TestEventQueueOrdering(t *testing.T) {
 	eng := New(Config{IDs: ident.Unique(1), Seed: 99})
 	rng := eng.rng
 	for i := 0; i < 5000; i++ {
-		eng.push(event{time: Time(rng.Int63n(50)), kind: evTimer, pid: 0, tag: i})
+		eng.push(event{time: Time(rng.Int63n(50)), kind: evTimer, pid: 0, arg: int32(i)})
 	}
 	lastTime := Time(-1)
 	lastSeq := uint64(0)

@@ -1,23 +1,3 @@
-// Package sim is a deterministic discrete-event simulator for homonymous
-// message-passing systems, the substrate every algorithm in this repository
-// runs on. It reproduces the paper's system model (§2):
-//
-//   - n processes Π, each knowing only its own identifier id(p); several
-//     processes may share an identifier (homonymy). Internal process indexes
-//     (PIDs) are a formalization tool and are never visible to algorithms.
-//   - communication by broadcast(m): one copy of m is sent along the
-//     directed link from the sender to every process, including itself; a
-//     receiver cannot tell which link a message arrived on.
-//   - crash failures: a crashed process stops taking steps; a process that
-//     crashes while broadcasting delivers to an arbitrary subset.
-//   - timing models: HAS (asynchronous, reliable links), HPS (partially
-//     synchronous: messages sent after an unknown GST are delivered within
-//     an unknown bound δ; earlier messages may be lost or delayed
-//     arbitrarily but finitely), and HSS (synchronous lock-step; see the
-//     SyncEngine in sync.go).
-//
-// Executions are driven by a single seeded event queue, so every run is
-// reproducible and costs (messages, virtual stabilization times) are exact.
 package sim
 
 import (

@@ -160,7 +160,11 @@ func (e *SyncEngine) runOneStep() {
 		payloads := e.procs[p].StepSend(e.envs[p])
 		prob, crashing := crashingNow[pid]
 		for _, payload := range payloads {
-			e.record(trace.Event{Time: int64(e.step), Kind: trace.KindBroadcast, PID: p, MsgTag: tagOf(payload)})
+			var tag string
+			if e.cfg.Recorder != nil {
+				tag = tagOf(payload)
+			}
+			e.record(trace.Event{Time: int64(e.step), Kind: trace.KindBroadcast, PID: p, MsgTag: tag})
 			for q := range e.procs {
 				if e.crashed[q] {
 					continue
@@ -169,7 +173,7 @@ func (e *SyncEngine) runOneStep() {
 					continue // a process crashing this step receives nothing
 				}
 				if crashing && e.rng.Float64() >= prob {
-					e.record(trace.Event{Time: int64(e.step), Kind: trace.KindDrop, PID: q, MsgTag: tagOf(payload), Detail: "sender crashed mid-broadcast"})
+					e.record(trace.Event{Time: int64(e.step), Kind: trace.KindDrop, PID: q, MsgTag: tag, Detail: "sender crashed mid-broadcast"})
 					continue
 				}
 				inboxes[q] = append(inboxes[q], payload)
@@ -189,8 +193,15 @@ func (e *SyncEngine) runOneStep() {
 		if e.crashed[p] {
 			continue
 		}
-		for _, payload := range inboxes[p] {
-			e.record(trace.Event{Time: int64(e.step), Kind: trace.KindDeliver, PID: p, MsgTag: tagOf(payload)})
+		if e.cfg.Recorder != nil {
+			retain := e.cfg.Recorder.Retaining()
+			for _, payload := range inboxes[p] {
+				var tag string
+				if retain {
+					tag = tagOf(payload)
+				}
+				e.record(trace.Event{Time: int64(e.step), Kind: trace.KindDeliver, PID: p, MsgTag: tag})
+			}
 		}
 		e.procs[p].StepRecv(e.envs[p], inboxes[p])
 	}

@@ -1,26 +1,3 @@
-// Package sweep fans independent simulation scenarios across CPU cores.
-//
-// The simulator (internal/sim) is strictly deterministic but single-
-// goroutine: one engine is one totally ordered event queue. Experiment
-// campaigns, however, run hundreds of independent (seed, assignment,
-// network model, crash pattern) scenarios, and those parallelize
-// perfectly — engines share no mutable state. The sweep runner is the
-// repository's one concurrency primitive for that fan-out.
-//
-// # Determinism contract
-//
-// Map and MapErr guarantee order-independent, reproducible aggregation:
-// result i is produced by f(i, inputs[i]) alone, each worker writes only
-// its own result slot, and the output slice is ordered by input index —
-// never by completion order. Provided f is itself deterministic per input
-// (every scenario seeds its own engine and builds its own recorder and
-// ground truth), a sweep's output is byte-identical for every worker
-// count, including Workers=1 (fully serial, no goroutines). The test
-// suite pins this: serial and parallel sweeps of the experiment tables
-// must agree bit for bit, under the race detector.
-//
-// f must not share mutable state across calls; everything an engine
-// touches (rand source, recorder, probes, truth) must be created inside f.
 package sweep
 
 import (

@@ -1,0 +1,28 @@
+// Package trace records what happens during a simulated execution: message
+// sends, deliveries, drops, crashes, recoveries, timers, decisions, and
+// failure-detector output changes. Recorders feed the property checkers
+// (which need timed output samples and the ground-truth fault pattern) and
+// the experiment harness (which reports message/round costs).
+//
+// # Recording modes
+//
+// A Recorder always keeps aggregate statistics (Stats), held in atomic
+// counters so stats-only recording is lock-free. Full event retention is
+// opt-in (KeepEvents) and runs through a fixed-size staging ring of
+// BufSize events; when the write position wraps, the full batch spills in
+// one step:
+//
+//   - in-memory mode (default): the batch moves to a chunk list; Events()
+//     concatenates chunks plus the staging tail in recording order. Unlike
+//     a grow-forever append slice, previously recorded events are never
+//     re-copied.
+//   - streaming mode (SetSink / NewSpillRecorder): the batch is handed to
+//     a caller-provided Sink and never retained, so a trace of any length
+//     records in constant memory. WriterSink streams the canonical text
+//     rendering (one Event.String per line) to an io.Writer; a spilled
+//     trace file is byte-identical to WriteText over the same run's
+//     in-memory events.
+//
+// The zero value is a ready, concurrency-safe, stats-only recorder; a nil
+// *Recorder is safe to record into and reports empty results.
+package trace

@@ -1,13 +1,9 @@
-// Package trace records what happens during a simulated execution: message
-// sends, deliveries, drops, crashes, timers, decisions, and failure-detector
-// output changes. Recorders feed the property checkers (which need timed
-// output samples and the ground-truth fault pattern) and the experiment
-// harness (which reports message/round costs).
 package trace
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind classifies an event.
@@ -64,7 +60,9 @@ type Event struct {
 	Detail string
 }
 
-// String renders the event for logs.
+// String renders the event for logs. It is also the canonical text form
+// used by WriteText and WriterSink, so a spilled trace file and a rendered
+// in-memory trace are byte-identical.
 func (e Event) String() string {
 	if e.MsgTag == "" {
 		return fmt.Sprintf("t=%d p%d %s %s", e.Time, e.PID, e.Kind, e.Detail)
@@ -85,20 +83,81 @@ type Stats struct {
 	ByTag      map[string]int // broadcasts per message tag
 }
 
+// DefaultBufSize is the staging-buffer capacity (events per batch) used
+// when Recorder.BufSize is zero.
+const DefaultBufSize = 4096
+
 // Recorder accumulates events and statistics. The zero value is ready to
-// use and safe for concurrent use (the goroutine runtime shares one).
-// KeepEvents controls whether the full event list is retained; statistics
-// are always kept.
+// use, records statistics only, and is safe for concurrent use (the
+// goroutine runtime shares one across delivery goroutines). Statistics are
+// kept in atomic counters, so stats-only recording never contends on a
+// lock.
+//
+// Event retention (KeepEvents) runs through a fixed-size staging buffer of
+// BufSize events. When the write position wraps (the buffer fills), the
+// full batch is spilled in one step: to the attached Sink if SetSink was
+// called, otherwise to an in-memory chunk list. Either way the recorder
+// never re-copies previously recorded events the way a grow-forever
+// append slice does, and with a Sink a trace of any length runs in
+// constant memory.
+//
+// KeepEvents and BufSize must be set before the first Record call and not
+// changed afterwards; concurrent Record calls read them without locking.
 type Recorder struct {
-	mu         sync.Mutex
+	// KeepEvents controls whether events are retained (or spilled); when
+	// false only statistics are kept.
 	KeepEvents bool
-	events     []Event
-	stats      Stats
+	// BufSize is the staging-buffer capacity; 0 means DefaultBufSize.
+	BufSize int
+
+	broadcasts atomic.Int64
+	delivered  atomic.Int64
+	dropped    atomic.Int64
+	crashes    atomic.Int64
+	recoveries atomic.Int64
+	timers     atomic.Int64
+	timerDrops atomic.Int64
+	decisions  atomic.Int64
+	byTag      sync.Map // string -> *atomic.Int64
+
+	mu      sync.Mutex
+	buf     []Event   // staging buffer, cap = BufSize
+	chunks  [][]Event // spilled batches (in-memory mode)
+	sink    Sink      // spill target (streaming mode), nil = in-memory
+	spilled int       // events handed to the sink so far
+	err     error     // first sink error
 }
 
-// NewRecorder returns a recorder that retains full event lists.
+// NewRecorder returns a recorder that retains full event lists in memory.
 func NewRecorder() *Recorder {
 	return &Recorder{KeepEvents: true}
+}
+
+// NewSpillRecorder returns a recorder that streams full batches of
+// bufSize events (0 = DefaultBufSize) to sink instead of retaining them.
+// Call Flush after the run to push the final partial batch.
+func NewSpillRecorder(sink Sink, bufSize int) *Recorder {
+	return &Recorder{KeepEvents: true, BufSize: bufSize, sink: sink}
+}
+
+// SetSink attaches the spill target. It must be called before the first
+// Record; attaching a sink after events were retained panics (the retained
+// prefix would silently bypass the sink).
+func (r *Recorder) SetSink(s Sink) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) > 0 || len(r.chunks) > 0 {
+		panic("trace: SetSink after events were recorded")
+	}
+	r.sink = s
+}
+
+// Retaining reports whether the recorder keeps (or spills) full events, as
+// opposed to statistics only. The engine reads it once per run to skip
+// tag/detail formatting entirely for stats-only recorders; a nil recorder
+// is not retaining.
+func (r *Recorder) Retaining() bool {
+	return r != nil && r.KeepEvents
 }
 
 // Record adds an event.
@@ -106,33 +165,95 @@ func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	switch e.Kind {
 	case KindBroadcast:
-		r.stats.Broadcasts++
-		if r.stats.ByTag == nil {
-			r.stats.ByTag = make(map[string]int)
+		r.broadcasts.Add(1)
+		c, ok := r.byTag.Load(e.MsgTag)
+		if !ok {
+			c, _ = r.byTag.LoadOrStore(e.MsgTag, new(atomic.Int64))
 		}
-		r.stats.ByTag[e.MsgTag]++
+		c.(*atomic.Int64).Add(1)
 	case KindDeliver:
-		r.stats.Delivered++
+		r.delivered.Add(1)
 	case KindDrop:
-		r.stats.Dropped++
+		r.dropped.Add(1)
 	case KindCrash:
-		r.stats.Crashes++
+		r.crashes.Add(1)
 	case KindRecover:
-		r.stats.Recoveries++
+		r.recoveries.Add(1)
 	case KindTimer:
-		r.stats.Timers++
+		r.timers.Add(1)
 	case KindTimerDrop:
-		r.stats.TimerDrops++
+		r.timerDrops.Add(1)
 	case KindDecide:
-		r.stats.Decisions++
+		r.decisions.Add(1)
 	}
-	if r.KeepEvents {
-		r.events = append(r.events, e)
+	if !r.KeepEvents {
+		return
 	}
+	r.mu.Lock()
+	if r.buf == nil {
+		size := r.BufSize
+		if size <= 0 {
+			size = DefaultBufSize
+		}
+		r.buf = make([]Event, 0, size)
+	}
+	r.buf = append(r.buf, e)
+	if len(r.buf) == cap(r.buf) {
+		r.spillLocked()
+	}
+	r.mu.Unlock()
+}
+
+// spillLocked hands the full staging buffer off as one batch — to the sink
+// in streaming mode, to the chunk list otherwise — and resets the write
+// position. The batch slice's ownership passes to its destination; the
+// recorder allocates a fresh buffer rather than copying, so a batch is
+// written exactly once.
+func (r *Recorder) spillLocked() {
+	batch := r.buf
+	r.buf = make([]Event, 0, cap(batch))
+	if r.sink != nil {
+		r.spilled += len(batch)
+		if err := r.sink.Spill(batch); err != nil && r.err == nil {
+			r.err = err
+		}
+		return
+	}
+	r.chunks = append(r.chunks, batch)
+}
+
+// Flush pushes the staging buffer's partial batch to the sink (a no-op in
+// in-memory mode, where Events reads the buffer in place) and flushes the
+// sink itself if it implements Flusher. It returns the first error the
+// sink ever reported. Call it after a run before reading the sink's
+// output.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sink != nil && len(r.buf) > 0 {
+		r.spillLocked()
+	}
+	if f, ok := r.sink.(Flusher); ok {
+		if err := f.Flush(); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	return r.err
+}
+
+// Err returns the first error reported by the sink, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
 }
 
 // Stats returns a snapshot of the aggregate statistics.
@@ -140,26 +261,49 @@ func (r *Recorder) Stats() Stats {
 	if r == nil {
 		return Stats{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.stats
-	s.ByTag = make(map[string]int, len(r.stats.ByTag))
-	for k, v := range r.stats.ByTag {
-		s.ByTag[k] = v
+	s := Stats{
+		Broadcasts: int(r.broadcasts.Load()),
+		Delivered:  int(r.delivered.Load()),
+		Dropped:    int(r.dropped.Load()),
+		Crashes:    int(r.crashes.Load()),
+		Recoveries: int(r.recoveries.Load()),
+		Timers:     int(r.timers.Load()),
+		TimerDrops: int(r.timerDrops.Load()),
+		Decisions:  int(r.decisions.Load()),
+		ByTag:      make(map[string]int),
 	}
+	r.byTag.Range(func(k, v any) bool {
+		s.ByTag[k.(string)] = int(v.(*atomic.Int64).Load())
+		return true
+	})
 	return s
 }
 
-// Events returns a copy of the recorded events (empty unless KeepEvents).
+// Events returns a copy of the retained events in recording order: all
+// spilled in-memory chunks followed by the staging buffer. It returns nil
+// for stats-only recorders and in streaming mode (with a Sink attached the
+// events live wherever the sink put them).
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
-	return out
+	if !r.KeepEvents || r.sink != nil {
+		return nil
+	}
+	total := len(r.buf)
+	for _, c := range r.chunks {
+		total += len(c)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Event, 0, total)
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	return append(out, r.buf...)
 }
 
 // Filter returns the recorded events matching the given kind.

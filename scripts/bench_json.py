@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output into a JSON benchmark record.
+
+Usage: go test -bench=. ... | scripts/bench_json.py > BENCH_smoke.json
+
+Parses the standard benchmark output format — name, iterations, then
+value/unit pairs (ns/op, B/op, allocs/op, and any custom ReportMetric
+units) — plus the goos/goarch/pkg/cpu header lines, and emits one JSON
+object. CI uploads the result as an artifact so the performance
+trajectory of the hot paths is recorded per commit.
+"""
+
+import json
+import re
+import sys
+
+# Non-greedy name so the -N GOMAXPROCS suffix is stripped: the recorded
+# benchmark identity must not vary with the runner's core count.
+BENCH = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$")
+
+
+def main():
+    meta = {}
+    results = []
+    for line in sys.stdin:
+        line = line.rstrip("\n")
+        m = re.match(r"^(goos|goarch|pkg|cpu):\s*(.*)$", line)
+        if m:
+            # Per-package runs repeat the header; keep the first value and
+            # collect every pkg.
+            key, val = m.group(1), m.group(2)
+            if key == "pkg":
+                meta.setdefault("pkgs", []).append(val)
+            else:
+                meta.setdefault(key, val)
+            continue
+        m = BENCH.match(line)
+        if not m:
+            continue
+        name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+        metrics = {}
+        parts = rest.split()
+        for value, unit in zip(parts[0::2], parts[1::2]):
+            try:
+                metrics[unit] = float(value)
+            except ValueError:
+                pass
+        results.append({"name": name, "iterations": iters, "metrics": metrics})
+    json.dump({**meta, "benchmarks": results}, sys.stdout, indent=2)
+    print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Check relative markdown links and anchors in the repo's documentation.
+
+Usage: scripts/check_links.py FILE.md [FILE.md ...]
+
+For every inline link `[text](target)` with a non-URL target, verify that
+the referenced file exists relative to the linking file, and — when the
+target carries a `#fragment` — that the referenced file contains a heading
+whose GitHub-style slug matches the fragment. Exits non-zero listing every
+broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, close enough for ASCII+unicode headings:
+    lowercase, drop everything but word characters/spaces/hyphens, then
+    spaces to hyphens. Backtick/emphasis markers are stripped first."""
+    h = heading.strip().lower()
+    h = h.replace("`", "").replace("*", "").replace("_", " ").strip()
+    h = re.sub(r"[^\w\- ]", "", h, flags=re.UNICODE)
+    return h.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    out = set()
+    in_code = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            m = HEADING.match(line)
+            if m:
+                out.add(slugify(m.group(1)))
+    return out
+
+
+def main(files):
+    errors = []
+    for src in files:
+        base = os.path.dirname(os.path.abspath(src))
+        in_code = False
+        with open(src, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if line.lstrip().startswith("```"):
+                    in_code = not in_code
+                    continue
+                if in_code:
+                    continue
+                for target in LINK.findall(line):
+                    if re.match(r"^[a-z]+://|^mailto:", target):
+                        continue  # external URL: not checked offline
+                    path, _, frag = target.partition("#")
+                    ref = os.path.normpath(os.path.join(base, path)) if path else os.path.abspath(src)
+                    if not os.path.exists(ref):
+                        errors.append(f"{src}:{lineno}: broken link {target!r}: no such file {ref}")
+                        continue
+                    if frag and ref.endswith(".md"):
+                        if slugify(frag) not in anchors_of(ref):
+                            errors.append(f"{src}:{lineno}: broken anchor {target!r}: no heading #{frag} in {ref}")
+    for e in errors:
+        print(e, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))
