@@ -249,6 +249,29 @@ func BenchmarkE19_HeavyTailDelays(b *testing.B) {
 	benchTable(b, experiments.E19HeavyTailDelays)
 }
 
+func BenchmarkE20_ChurnConsensus(b *testing.B) {
+	benchTable(b, experiments.E20ChurnConsensus)
+}
+
+// BenchmarkChurnConsensusFig8 measures one verified Fig. 8 churn run —
+// crash, recovery, rejoin exchange, decision — in isolation from table
+// rendering, so the rejoin path's cost is tracked per commit.
+func BenchmarkChurnConsensusFig8(b *testing.B) {
+	var after int64
+	for i := 0; i < b.N; i++ {
+		res, err := hds.RunChurnFig8(hds.ChurnFig8Experiment{
+			IDs: hds.BalancedIDs(5, 2), T: 2,
+			Churn: hds.ChurnSpec{Fraction: 0.3, Cycles: 1, Start: 2, Down: 60},
+			Net:   hds.Async{MaxDelay: 8}, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		after += res.DecideAfterChurn
+	}
+	b.ReportMetric(float64(after)/float64(b.N), "vt-decide-after-churn/op")
+}
+
 // BenchmarkChurnEngine1000 measures the raw engine on the n=1000
 // crash-recovery heartbeat scenario — the large-n hot path (deliver fan-out
 // plus churn bookkeeping) in isolation, without table rendering.

@@ -1,6 +1,6 @@
-// Command experiments regenerates every experiment table (E1–E19): one
-// per figure/theorem of the paper (E1–E13), the ablations E14–E17, and
-// the churn/heavy-tail sweeps E18/E19. Output is deterministic markdown;
+// Command experiments regenerates every experiment table (E1–E20): one
+// per figure/theorem of the paper (E1–E13), the ablations E14–E17, the
+// churn/heavy-tail sweeps E18/E19, and the churn-consensus table E20. Output is deterministic markdown;
 // redirect it to refresh the file:
 //
 //	go run ./cmd/experiments > EXPERIMENTS_tables.md

@@ -5,13 +5,24 @@
 //	go run ./cmd/hdsim -algo fig8 -detectors mp -gst 80 -delta 3
 //	go run ./cmd/hdsim -algo fig8 -net pareto:1.5:15
 //	go run ./cmd/hdsim -algo ohp -n 12 -l 4 -churn 0.25:2:40:60
+//	go run ./cmd/hdsim -algo fig8 -n 5 -l 2 -t 2 -churn 0.3:1:60
+//	go run ./cmd/hdsim -algo fig9 -n 6 -l 3 -churn 0.34:2:40:50
 //
 // Algorithms: fig8 = HAS[t<n/2, HΩ] (Theorem 7); fig9 = HAS[HΩ, HΣ]
 // (Theorem 8, any number of crashes); fig9-anon = the anonymous AΩ
-// baseline; ohp = the standalone Figure 6 detector (◇HP̄ → HΩ), the only
-// algorithm that supports crash-recovery churn (-churn). Every run is
-// verified (consensus properties, or detector class properties) before
+// baseline; ohp = the standalone Figure 6 detector (◇HP̄ → HΩ). Every run
+// is verified (consensus properties, or detector class properties) before
 // results are printed; a verification failure exits non-zero.
+//
+// -churn adds a crash-recovery churn schedule to any algorithm. Under ohp
+// the detector's churn-restated class properties are verified; under the
+// consensus algorithms the recovered processes rejoin through the
+// (REJOIN, r) round-resync protocol and the crash-recovery consensus
+// properties are checked: Termination over the eventually-up set, decision
+// stability across outages, and relayed decisions reporting the round the
+// decision was actually reached in. -crashes may be combined with -churn
+// for additional permanent crashes of non-churning processes (fig8's -t
+// budget covers churners and permanent crashes alike).
 //
 // -net selects the delay model (see cliutil.ParseNet): async[:max],
 // psync:gst:delta, timely[:δ], pareto[:α[:cap]], lognormal[:σ[:cap]],

@@ -22,7 +22,7 @@ func main() {
 	l := flag.Int("l", 2, "number of distinct identifiers (1 = anonymous, n = unique)")
 	t := flag.Int("t", 2, "crash bound for fig8 (t < n/2)")
 	crashes := flag.String("crashes", "", "crash schedule pid:time[,pid:time...]")
-	churn := flag.String("churn", "", "crash-recovery churn fraction[:cycles[:down[:up]]], stagger fixed at 7 (ohp only)")
+	churn := flag.String("churn", "", "crash-recovery churn fraction[:cycles[:down[:up]]], stagger fixed at 7 (all algorithms; consensus runs the rejoin protocol)")
 	netSpec := flag.String("net", "", "network model spec (overrides -gst/-delta; see doc comment)")
 	seed := flag.Int64("seed", 1, "random seed (first seed of a sweep)")
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to sweep")
@@ -95,9 +95,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if churnSpec.Fraction > 0 && *algo != "ohp" {
-		log.Fatalf("-churn requires -algo ohp: the consensus algorithms are crash-stop (recovered processes are outside their fault model)")
-	}
 	ids := hds.BalancedIDs(*n, *l)
 	var net sim.Model = hds.Async{MaxDelay: 8}
 	if *gst > 0 {
@@ -125,6 +122,11 @@ func main() {
 		consensusHorizon = 3_000_000
 	}
 
+	// churnRes keeps the churn-specific numbers of a single consensus run
+	// for the report below; sweeps aggregate through Report/Stats only, so
+	// it is written exclusively in the single-run (serial) case.
+	var churnRes *hds.ChurnConsensusResult
+	single := *seeds <= 1
 	runOne := func(seed int64) (hds.Report, hds.Stats, error) {
 		switch *algo {
 		case "fig8":
@@ -132,12 +134,35 @@ func main() {
 			if *detectors == "mp" {
 				src = hds.MessagePassingDetectors
 			}
+			if churnSpec.Fraction > 0 {
+				res, err := hds.RunChurnFig8(hds.ChurnFig8Experiment{
+					IDs: ids, T: *t, Churn: churnSpec, Crashes: sched, Net: net,
+					Detectors: src, Stabilize: *stabilize, Adversary: adv, Seed: seed,
+					Horizon: consensusHorizon, Trace: traceRec,
+				})
+				if single {
+					churnRes = &res
+				}
+				return res.Report, res.Stats, err
+			}
 			return hds.RunFig8(hds.Fig8Experiment{
 				IDs: ids, T: *t, Crashes: sched, Net: net,
 				Detectors: src, Stabilize: *stabilize, Adversary: adv, Seed: seed,
 				Horizon: consensusHorizon, Trace: traceRec,
 			})
 		case "fig9", "fig9-anon":
+			if churnSpec.Fraction > 0 {
+				res, err := hds.RunChurnFig9(hds.ChurnFig9Experiment{
+					IDs: ids, Churn: churnSpec, Crashes: sched, Net: net,
+					AnonymousBaseline: *algo == "fig9-anon",
+					Stabilize:         *stabilize, Adversary: adv, Seed: seed,
+					Horizon: consensusHorizon, Trace: traceRec,
+				})
+				if single {
+					churnRes = &res
+				}
+				return res.Report, res.Stats, err
+			}
 			return hds.RunFig9(hds.Fig9Experiment{
 				IDs: ids, Crashes: sched, Net: net,
 				AnonymousBaseline: *algo == "fig9-anon",
@@ -154,23 +179,33 @@ func main() {
 		// Everything that defines the scenario goes into the fingerprint:
 		// checkpoints are only interchangeable between runs of the exact
 		// same scenario, and a digest alone cannot tell scenarios apart.
-		scenario := fmt.Sprintf("algo=%s ids=%v t=%d crashes=%s net=%s detectors=%s stabilize=%d adversary=%s horizon=%d",
-			*algo, ids, *t, *crashes, net, *detectors, *stabilize, *adversary, consensusHorizon)
+		scenario := fmt.Sprintf("algo=%s ids=%v t=%d crashes=%s churn=%s net=%s detectors=%s stabilize=%d adversary=%s horizon=%d",
+			*algo, ids, *t, *crashes, *churn, net, *detectors, *stabilize, *adversary, consensusHorizon)
 		runSweep(campaignCfg, *algo, ids, *crashes, scenario, *seed, *seeds, runOne)
 		return
 	}
 
-	fmt.Printf("algo=%s n=%d ℓ=%d ids=%v crashes=%s seed=%d\n", *algo, *n, *l, ids, *crashes, *seed)
+	fmt.Printf("algo=%s n=%d ℓ=%d ids=%v crashes=%s churn=%s seed=%d\n", *algo, *n, *l, ids, *crashes, *churn, *seed)
 	rep, stats, err := runOne(*seed)
 	if err != nil {
 		fatalf("verification failed: %v", err)
 	}
 
-	fmt.Println("consensus verified ✔ (termination, validity, agreement)")
+	if churnRes != nil {
+		fmt.Println("consensus verified ✔ (termination over the eventually-up set, validity, agreement, decision stability)")
+	} else {
+		fmt.Println("consensus verified ✔ (termination, validity, agreement)")
+	}
 	fmt.Printf("  decided value:    %q\n", rep.Value)
 	fmt.Printf("  deciders:         %d\n", rep.Deciders)
 	fmt.Printf("  rounds:           %d\n", rep.MaxRound)
 	fmt.Printf("  decisions span:   t=%d .. t=%d\n", rep.FirstDecision, rep.LastDecision)
+	if churnRes != nil {
+		fmt.Printf("  eventually up:    %d/%d (correct in the strict sense: %d)\n", churnRes.EventuallyUp, *n, churnRes.Correct)
+		fmt.Printf("  recoveries:       %d\n", churnRes.Recoveries)
+		fmt.Printf("  last churn event: t=%d\n", churnRes.LastChange)
+		fmt.Printf("  decide after churn: +%d\n", churnRes.DecideAfterChurn)
+	}
 	fmt.Printf("  broadcasts:       %d total — %s\n", stats.Broadcasts, cliutil.FormatTagCounts(stats.ByTag))
 	fmt.Printf("  deliveries/drops: %d/%d\n", stats.Delivered, stats.Dropped)
 	closeTrace()

@@ -60,15 +60,25 @@ type ChurnOHPResult struct {
 // verifies the churn-restated ◇HP̄ and HΩ class properties against the
 // ground truth, cross-checks the engine's incremental fault bookkeeping
 // against the schedule-derived truth, and reports re-stabilization times.
+// Malformed inputs — an invalid assignment, or a horizon that cuts the
+// churn schedule short — are rejected with errors, not run: a truncated
+// schedule would yield meaningless re-stabilization times.
 func RunChurnOHP(e ChurnOHPExperiment) (ChurnOHPResult, error) {
+	if err := e.IDs.Validate(); err != nil {
+		return ChurnOHPResult{}, fmt.Errorf("hds: %w", err)
+	}
 	if e.Horizon == 0 {
 		e.Horizon = 5000
+	}
+	n := e.IDs.N()
+	schedule := e.Churn.Events(n)
+	if err := validateChurnHorizon(schedule, e.Horizon); err != nil {
+		return ChurnOHPResult{}, err
 	}
 	net := e.Net
 	if net == nil {
 		net = sim.PartialSync{Delta: 3}
 	}
-	n := e.IDs.N()
 	rec := traceRecorder(e.Trace)
 	eng := sim.New(sim.Config{IDs: e.IDs, Net: net, Seed: e.Seed, Recorder: rec, MaxEvents: e.MaxEvents})
 	dets := make([]*ohp.Detector, n)
@@ -76,7 +86,6 @@ func RunChurnOHP(e ChurnOHPExperiment) (ChurnOHPResult, error) {
 		dets[i] = ohp.New()
 		eng.AddProcess(dets[i])
 	}
-	schedule := e.Churn.Events(n)
 	eng.ApplyChurn(schedule)
 	truth := fd.NewGroundTruthFromChurn(e.IDs, schedule)
 
@@ -205,25 +214,32 @@ var (
 
 // RunHeartbeatChurn executes the heartbeat workload under churn and
 // cross-checks the engine's incremental Correct/EventuallyUp bookkeeping
-// against the schedule-derived ground truth.
+// against the schedule-derived ground truth. Like RunChurnOHP it rejects
+// invalid assignments and horizons that truncate the churn schedule.
 func RunHeartbeatChurn(e HeartbeatExperiment) (HeartbeatResult, error) {
+	if err := e.IDs.Validate(); err != nil {
+		return HeartbeatResult{}, fmt.Errorf("hds: %w", err)
+	}
 	if e.Period <= 0 {
 		e.Period = 10
 	}
 	if e.Horizon == 0 {
 		e.Horizon = 10 * e.Period
 	}
+	n := e.IDs.N()
+	schedule := e.Churn.Events(n)
+	if err := validateChurnHorizon(schedule, e.Horizon); err != nil {
+		return HeartbeatResult{}, err
+	}
 	net := e.Net
 	if net == nil {
 		net = sim.Async{MaxDelay: 8}
 	}
-	n := e.IDs.N()
 	rec := traceRecorder(e.Trace) // default is stats-only: keeps big n cheap
 	eng := sim.New(sim.Config{IDs: e.IDs, Net: net, Seed: e.Seed, Recorder: rec, MaxEvents: e.MaxEvents})
 	for i := 0; i < n; i++ {
 		eng.AddProcess(&heartbeater{period: e.Period})
 	}
-	schedule := e.Churn.Events(n)
 	eng.ApplyChurn(schedule)
 	truth := fd.NewGroundTruthFromChurn(e.IDs, schedule)
 

@@ -1,0 +1,330 @@
+package hds
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/fd/ohp"
+	"repro/internal/fd/oracle"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ChurnFig8Experiment describes one run of the Figure 8 consensus
+// (HAS[t < n/2, HΩ]) under crash-recovery churn: churners cycle down and
+// up per the schedule, recovered processes rejoin the protocol through the
+// (REJOIN, r) round-resync exchange, and the consensus properties are
+// verified in their crash-recovery restatement (Termination over the
+// eventually-up processes, decisions surviving outages).
+type ChurnFig8Experiment struct {
+	IDs Assignment
+	// T is the crash budget: every process that ever crashes — churner or
+	// permanent — spends it, matching the paper's "at most t faulty" under
+	// the strict "correct = never crashes" reading. T < n/2 guarantees the
+	// never-crashed majority completes rounds on its own, so rejoiners can
+	// always catch up (at worst through the DECIDE relay).
+	T     int
+	Churn ChurnSpec
+	// Crashes adds permanent crash-stop crashes on top of the churn
+	// schedule. A process may appear in at most one of the two mechanisms;
+	// overlapping configurations are rejected.
+	Crashes map[PID]Time
+	// Net defaults to the engine's Async{}; use an eventually timely model
+	// with MessagePassingDetectors.
+	Net sim.Model
+	// Detectors defaults to OracleDetectors (whose stable views are stated
+	// over the eventually-up set, so they re-converge after churn); with
+	// MessagePassingDetectors the paper's Figure 6 stack — itself
+	// recovery-capable — runs underneath.
+	Detectors DetectorSource
+	// Stabilize is the oracle stabilization time (OracleDetectors only).
+	// Zero defaults to 50 past the churn schedule's last event, so the
+	// adversary stays active through the whole churn phase.
+	Stabilize Time
+	// Adversary shapes pre-stabilization oracle output (OracleDetectors).
+	Adversary oracle.Adversary
+	// Proposals defaults to "v0".."v{n-1}".
+	Proposals []Value
+	Seed      int64
+	// Horizon caps virtual time (default 1e6). It must exceed the churn
+	// schedule's last event — a horizon that cuts the schedule short would
+	// silently verify a different fault pattern — and the runner enforces
+	// that instead of trusting the caller.
+	Horizon Time
+	// MaxEvents overrides the engine's runaway guard (0 = engine default).
+	MaxEvents int
+	// Trace, when non-nil, replaces the default stats-only recorder (see
+	// Fig8Experiment.Trace).
+	Trace *trace.Recorder
+}
+
+// ChurnFig9Experiment is the Figure 9 (HAS[HΩ, HΣ]) counterpart of
+// ChurnFig8Experiment. Fig. 9 needs neither n nor t: quorums come from the
+// HΣ detector, whose stable output under churn is built over the
+// eventually-up set, so any churn schedule is admissible — including
+// final-down churners that shrink the deciding population.
+type ChurnFig9Experiment struct {
+	IDs   Assignment
+	Churn ChurnSpec
+	// Crashes adds permanent crash-stop crashes; overlap with the churn
+	// schedule is rejected (see ChurnFig8Experiment.Crashes).
+	Crashes map[PID]Time
+	Net     sim.Model
+	// AnonymousBaseline switches to the AΩ variant without the Leaders'
+	// Coordination Phase (§5.3 closing remark).
+	AnonymousBaseline bool
+	// Stabilize defaults to 50 past the churn schedule's last event.
+	Stabilize Time
+	Adversary oracle.Adversary
+	Proposals []Value
+	Seed      int64
+	// Horizon caps virtual time (default 1e6); must exceed the schedule's
+	// last event (enforced).
+	Horizon   Time
+	MaxEvents int
+	Trace     *trace.Recorder
+}
+
+// ChurnConsensusResult reports a verified churn-consensus run.
+type ChurnConsensusResult struct {
+	// Report is the checker-verified consensus outcome (Termination
+	// quantified over the eventually-up processes).
+	Report Report
+	// LastChange is the final fault-pattern change (last crash or
+	// recovery) — the earliest instant the run's tail is churn-free.
+	LastChange Time
+	// DecideAfterChurn is how long after the fault pattern settled the last
+	// eventually-up process decided (0 when consensus finished before the
+	// churn did): the decision latency attributable to post-churn
+	// re-convergence and rejoin.
+	DecideAfterChurn Time
+	// EventuallyUp and Correct are |EventuallyUp| and |Correct|.
+	EventuallyUp, Correct int
+	// Recoveries counts executed recover events.
+	Recoveries int
+	// Stopped is why the run ended.
+	Stopped sim.StopReason
+	// Stats aggregates message costs.
+	Stats Stats
+}
+
+// RunChurnFig8 executes Figure 8 under the churn schedule with the rejoin
+// protocol live, cross-checks the engine's incremental fault bookkeeping
+// against the schedule-derived ground truth, verifies decision stability
+// across every outage, and checks the crash-recovery consensus properties.
+func RunChurnFig8(e ChurnFig8Experiment) (ChurnConsensusResult, error) {
+	n := e.IDs.N()
+	if err := validateExperiment(e.IDs, e.Crashes, e.Proposals); err != nil {
+		return ChurnConsensusResult{}, err
+	}
+	if e.T < 0 || 2*e.T >= n {
+		return ChurnConsensusResult{}, fmt.Errorf("hds: Fig8 requires 0 <= t < n/2, got t=%d n=%d", e.T, n)
+	}
+	if e.Horizon == 0 {
+		e.Horizon = 1_000_000
+	}
+	schedule, truth, err := churnFaultPattern(e.IDs, e.Churn, e.Crashes, e.Horizon)
+	if err != nil {
+		return ChurnConsensusResult{}, err
+	}
+	if crashed := len(truth.CrashTimes); crashed > e.T {
+		return ChurnConsensusResult{}, fmt.Errorf("hds: churn schedule plus crashes fault %d processes, exceeding the t=%d budget (every crash spends it, recovered or not)", crashed, e.T)
+	}
+	proposals := e.Proposals
+	if proposals == nil {
+		proposals = defaultProposals(n)
+	}
+	stabilize := e.Stabilize
+	if stabilize == 0 {
+		stabilize = truth.LastChange() + 50
+	}
+
+	rec := traceRecorder(e.Trace)
+	eng := sim.New(sim.Config{IDs: e.IDs, Net: e.Net, Seed: e.Seed, KnownN: true, Recorder: rec, MaxEvents: e.MaxEvents})
+	world := oracle.NewWorld(truth, stabilize)
+	insts := make([]*core.Fig8, n)
+	for i := 0; i < n; i++ {
+		node := sim.NewNode()
+		var det fd.HOmega
+		switch e.Detectors {
+		case MessagePassingDetectors:
+			d := ohp.New()
+			node.Add("ohp", d)
+			det = d
+		default:
+			d := oracle.NewHOmega(world, e.Adversary)
+			node.Add("homega", d)
+			det = d
+		}
+		insts[i] = core.NewFig8(det, e.T, proposals[i])
+		node.Add("consensus", insts[i])
+		eng.AddProcess(node)
+	}
+	outcome := func(p sim.PID) core.Outcome { return insts[p].Decided() }
+	invariant := func(p sim.PID) error { return insts[p].InvariantErr() }
+	return runChurnConsensus(eng, rec, truth, schedule, proposals, e.Horizon, outcome, invariant)
+}
+
+// RunChurnFig9 is RunChurnFig8 for Figure 9 (or its anonymous baseline):
+// oracle-driven detectors, any number of faults, HΣ quorums built over the
+// eventually-up set.
+func RunChurnFig9(e ChurnFig9Experiment) (ChurnConsensusResult, error) {
+	n := e.IDs.N()
+	if err := validateExperiment(e.IDs, e.Crashes, e.Proposals); err != nil {
+		return ChurnConsensusResult{}, err
+	}
+	if e.Horizon == 0 {
+		e.Horizon = 1_000_000
+	}
+	schedule, truth, err := churnFaultPattern(e.IDs, e.Churn, e.Crashes, e.Horizon)
+	if err != nil {
+		return ChurnConsensusResult{}, err
+	}
+	if len(truth.EventuallyUp()) == 0 {
+		return ChurnConsensusResult{}, fmt.Errorf("hds: no process is eventually up — nothing can decide")
+	}
+	proposals := e.Proposals
+	if proposals == nil {
+		proposals = defaultProposals(n)
+	}
+	stabilize := e.Stabilize
+	if stabilize == 0 {
+		stabilize = truth.LastChange() + 50
+	}
+
+	rec := traceRecorder(e.Trace)
+	eng := sim.New(sim.Config{IDs: e.IDs, Net: e.Net, Seed: e.Seed, Recorder: rec, MaxEvents: e.MaxEvents})
+	world := oracle.NewWorld(truth, stabilize)
+	insts := make([]*core.Fig9, n)
+	for i := 0; i < n; i++ {
+		hs := oracle.NewHSigma(world)
+		node := sim.NewNode().Add("hsigma", hs)
+		if e.AnonymousBaseline {
+			ao := oracle.NewAOmega(world, e.Adversary)
+			node.Add("aomega", ao)
+			insts[i] = core.NewFig9Anonymous(ao, hs, proposals[i])
+		} else {
+			ho := oracle.NewHOmega(world, e.Adversary)
+			node.Add("homega", ho)
+			insts[i] = core.NewFig9(ho, hs, proposals[i])
+		}
+		node.Add("consensus", insts[i])
+		eng.AddProcess(node)
+	}
+	outcome := func(p sim.PID) core.Outcome { return insts[p].Decided() }
+	invariant := func(p sim.PID) error { return insts[p].InvariantErr() }
+	return runChurnConsensus(eng, rec, truth, schedule, proposals, e.Horizon, outcome, invariant)
+}
+
+// runChurnConsensus is the shared tail of the churn-consensus runners:
+// apply the schedule, monitor decision stability, run until every
+// eventually-up process decided (or the horizon), cross-check engine
+// bookkeeping against the truth, and verify the restated properties.
+func runChurnConsensus(eng *sim.Engine, rec *trace.Recorder, truth *fd.GroundTruth,
+	schedule []ChurnEvent, proposals []Value, horizon Time,
+	outcome func(sim.PID) core.Outcome, invariant func(sim.PID) error) (ChurnConsensusResult, error) {
+	eng.ApplyChurn(schedule)
+	mon := check.NewDecisionMonitor()
+	eng.AfterEvent(func(_ Time, p sim.PID) {
+		if p >= 0 {
+			mon.Observe(p, outcome(p))
+		}
+	})
+
+	eng.RunUntil(horizon, func() bool {
+		for _, p := range truth.EventuallyUp() {
+			if !outcome(p).Decided {
+				return false
+			}
+		}
+		return true
+	})
+	if err := guardErr(eng); err != nil {
+		return ChurnConsensusResult{}, err
+	}
+	if err := checkTruthConsistency(eng, truth); err != nil {
+		return ChurnConsensusResult{}, err
+	}
+	if err := mon.Err(); err != nil {
+		return ChurnConsensusResult{}, err
+	}
+
+	n := len(proposals)
+	outcomes := make([]core.Outcome, n)
+	for p := 0; p < n; p++ {
+		outcomes[p] = outcome(sim.PID(p))
+		if err := invariant(sim.PID(p)); err != nil {
+			return ChurnConsensusResult{}, fmt.Errorf("hds: internal invariant: %w", err)
+		}
+	}
+	rep, err := check.ConsensusChurn(truth, proposals, outcomes)
+	if err != nil {
+		return ChurnConsensusResult{}, err
+	}
+	res := ChurnConsensusResult{
+		Report:       rep,
+		LastChange:   truth.LastChange(),
+		EventuallyUp: len(truth.EventuallyUp()),
+		Correct:      len(truth.Correct()),
+		Recoveries:   eng.Recoveries(),
+		Stopped:      eng.Stopped(),
+		Stats:        rec.Stats(),
+	}
+	if rep.LastDecision > res.LastChange {
+		res.DecideAfterChurn = rep.LastDecision - res.LastChange
+	}
+	return res, nil
+}
+
+// churnFaultPattern expands the churn spec, folds permanent crashes into
+// the same schedule, validates the combination (events within the horizon,
+// no process driven by both mechanisms), and derives the ground truth.
+func churnFaultPattern(ids Assignment, churn ChurnSpec, crashes map[PID]Time, horizon Time) ([]ChurnEvent, *fd.GroundTruth, error) {
+	schedule := churn.Events(ids.N())
+	if len(crashes) > 0 {
+		churners := make(map[PID]bool, len(schedule))
+		for _, ev := range schedule {
+			churners[ev.P] = true
+		}
+		overlap := make([]int, 0, len(crashes))
+		for p := range crashes {
+			if churners[p] {
+				overlap = append(overlap, int(p))
+			}
+		}
+		if len(overlap) > 0 {
+			sort.Ints(overlap)
+			return nil, nil, fmt.Errorf("hds: process(es) %v appear in both the churn schedule and the Crashes map — use one crash mechanism per process (the engine would interleave both into a schedule nobody asked for)", overlap)
+		}
+		for p, at := range crashes {
+			schedule = append(schedule, ChurnEvent{P: p, At: at})
+		}
+	}
+	// Validate the horizon against the *combined* schedule: a permanent
+	// crash past the horizon would be silently truncated exactly like a
+	// churn event, and the ground truth (which assumes every scheduled
+	// event fires) would then verify a fault pattern the run never had.
+	if err := validateChurnHorizon(schedule, horizon); err != nil {
+		return nil, nil, err
+	}
+	return schedule, fd.NewGroundTruthFromChurn(ids, schedule), nil
+}
+
+// validateChurnHorizon rejects schedules whose last event is not strictly
+// before the horizon: the run would truncate the fault pattern and verify
+// a scenario nobody specified.
+func validateChurnHorizon(schedule []ChurnEvent, horizon Time) error {
+	var last Time
+	for _, ev := range schedule {
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+	if len(schedule) > 0 && last >= horizon {
+		return fmt.Errorf("hds: the fault schedule's last event at t=%d is not before the horizon %d — the run would truncate the fault pattern", last, horizon)
+	}
+	return nil
+}

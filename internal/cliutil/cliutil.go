@@ -190,19 +190,20 @@ func ParseNet(spec string) (sim.Model, error) {
 }
 
 // ParseChurn parses a crash-recovery churn spec of the form
-// "fraction[:cycles[:down[:up]]]", e.g. "0.2:2:40:60". An empty string
-// yields the zero spec (no churn). CLI schedules fix Stagger at 7, so
-// successive churners' outages overlap partially instead of aligning;
-// reproduce a CLI run programmatically by setting Stagger: 7 explicitly
-// (sim.ChurnSpec's own zero value keeps churners in phase).
+// "fraction[:cycles[:down[:up[:stagger]]]]", e.g. "0.2:2:40:60". An empty
+// string yields the zero spec (no churn). Stagger defaults to 7, so
+// successive churners' outages overlap partially instead of aligning; an
+// explicit stagger of 0 keeps churners in phase (reproduce a default CLI
+// run programmatically by setting Stagger: 7 explicitly — sim.ChurnSpec's
+// own zero value is in-phase).
 func ParseChurn(spec string) (sim.ChurnSpec, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return sim.ChurnSpec{}, nil
 	}
 	parts := strings.Split(spec, ":")
-	if len(parts) > 4 {
-		return sim.ChurnSpec{}, fmt.Errorf("bad churn spec %q (want fraction[:cycles[:down[:up]]])", spec)
+	if len(parts) > 5 {
+		return sim.ChurnSpec{}, fmt.Errorf("bad churn spec %q (want fraction[:cycles[:down[:up[:stagger]]]])", spec)
 	}
 	frac, err := strconv.ParseFloat(parts[0], 64)
 	if err != nil || frac <= 0 || frac > 1 {
@@ -211,7 +212,9 @@ func ParseChurn(spec string) (sim.ChurnSpec, error) {
 	out := sim.ChurnSpec{Fraction: frac, Stagger: 7}
 	for i, p := range parts[1:] {
 		v, err := strconv.ParseInt(p, 10, 64)
-		if err != nil || v <= 0 {
+		// Stagger (field 4) may be 0 — churners in phase; the cycle
+		// parameters must be positive.
+		if err != nil || v < 0 || (v == 0 && i < 3) {
 			return sim.ChurnSpec{}, fmt.Errorf("bad churn field %q in %q (want a positive integer)", p, spec)
 		}
 		switch i {
@@ -221,6 +224,8 @@ func ParseChurn(spec string) (sim.ChurnSpec, error) {
 			out.Down = v
 		case 2:
 			out.Up = v
+		case 3:
+			out.Stagger = v
 		}
 	}
 	return out, nil

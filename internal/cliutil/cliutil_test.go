@@ -169,7 +169,15 @@ func TestParseChurn(t *testing.T) {
 	if spec, err := ParseChurn(""); err != nil || spec.Fraction != 0 {
 		t.Fatalf("ParseChurn(\"\") = %+v, %v", spec, err)
 	}
-	for _, bad := range []string{"x", "0", "1.5", "-0.2", "0.2:0", "0.2:2:40:60:7", "0.2:a"} {
+	// The optional fifth field overrides the default stagger of 7; 0 keeps
+	// churners in phase (only the cycle parameters must be positive).
+	if spec, err := ParseChurn("0.2:2:40:60:3"); err != nil || spec.Stagger != 3 {
+		t.Fatalf("ParseChurn(0.2:2:40:60:3) = %+v, %v", spec, err)
+	}
+	if spec, err := ParseChurn("0.2:2:40:60:0"); err != nil || spec.Stagger != 0 {
+		t.Fatalf("ParseChurn(0.2:2:40:60:0) = %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"x", "0", "1.5", "-0.2", "0.2:0", "0.2:2:0", "0.2:2:40:0", "0.2:2:40:60:7:9", "0.2:2:40:60:-1", "0.2:a"} {
 		if spec, err := ParseChurn(bad); err == nil {
 			t.Errorf("ParseChurn(%q) = %+v, want error", bad, spec)
 		}

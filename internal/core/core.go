@@ -22,22 +22,68 @@ const Bottom Value = "\x00⊥"
 // (an oracle detector stabilizing) and keeps virtual time advancing.
 const heartbeat sim.Time = 5
 
-// Outcome reports one process's consensus result.
+// Outcome reports one process's consensus result. Round is the round in
+// which the decision was originally reached — for a relayed decision that
+// is the deciding process's round (carried in DecideMsg), not the local
+// round of whoever learned it.
 type Outcome struct {
 	Decided bool
 	Value   Value
-	Round   int      // round in which the decision was reached
-	Time    sim.Time // virtual decision time
+	Round   int      // round in which the decision was originally reached
+	Time    sim.Time // virtual decision time (local: when this process learned it)
+	// Relayed marks an outcome adopted from a received DECIDE rather than
+	// decided by this process's own Phase 2 quorum. Checkers use it to
+	// assert round agreement: every relayed round must name a round in
+	// which some process actually decided.
+	Relayed bool
 }
 
 // DecideMsg implements the reliable broadcast of Task T2: a decided value
-// is relayed once by every process that learns it.
+// is relayed once by every process that learns it. Round carries the round
+// the decision was reached in, so relayed outcomes report the deciding
+// round rather than the receiver's local one.
 type DecideMsg struct {
-	Val Value
+	Val   Value
+	Round int
 }
 
 // MsgTag implements sim.Tagger.
 func (DecideMsg) MsgTag() string { return "DECIDE" }
+
+// RejoinMsg is the (REJOIN, r) round-resync request a recovered process
+// broadcasts: "I was down, my protocol view stops at round r — where is
+// everyone?". Peers answer from their current round state (RejoinAckMsg),
+// and peers that already decided re-send their DECIDE instead (the Task T2
+// relay, re-armed for rejoiners).
+type RejoinMsg struct {
+	Round int
+}
+
+// MsgTag implements sim.Tagger.
+func (RejoinMsg) MsgTag() string { return "REJOIN" }
+
+// RejoinAckMsg answers a REJOIN with the responder's current position:
+// round, phase (1 = Leaders' Coordination, 2 = Phase 0, 3 = Phase 1,
+// 4 = Phase 2), sub-round (Fig. 9; 0 in Fig. 8), and estimates. A
+// rejoining process fast-forwards to the highest round it hears of and
+// re-enters the protocol at that round's Phase 1 — a round it has never
+// voted in (rounds are monotone), so the quorum-intersection safety
+// argument is untouched. Within its own round, Fig. 9 additionally follows
+// the responder's phase and sub-round (see Fig9.onRejoinAck): its HΣ
+// quorums can require every eventually-up process, so a rejoiner stranded
+// mid-phase — peers consumed its pre-crash quorum message and moved on,
+// their later traffic died with the outage — must be able to catch up from
+// the acks alone.
+type RejoinAckMsg struct {
+	Round int
+	Phase int
+	SR    int
+	Est   Value
+	Est2  Value
+}
+
+// MsgTag implements sim.Tagger.
+func (RejoinAckMsg) MsgTag() string { return "REJOIN_ACK" }
 
 // CoordMsg is the Leaders' Coordination Phase message (COORD, id, r, est).
 type CoordMsg struct {
@@ -85,17 +131,32 @@ func (d *decider) decide(v Value, round int) {
 	}
 	d.outcome = Outcome{Decided: true, Value: v, Round: round, Time: d.env.Now()}
 	d.env.Note(trace.KindDecide, "DECIDE", string(v))
-	d.env.Broadcast(DecideMsg{Val: v})
+	d.env.Broadcast(DecideMsg{Val: v, Round: round})
 }
 
-// onDecide handles a received DECIDE: relay once, adopt the value.
-func (d *decider) onDecide(m DecideMsg, round int) {
+// onDecide handles a received DECIDE: relay once, adopt the value — and
+// the round the decision was actually reached in, which the message
+// carries (the receiver's local round may be far behind or ahead).
+func (d *decider) onDecide(m DecideMsg) {
 	if d.outcome.Decided {
 		return
 	}
-	d.outcome = Outcome{Decided: true, Value: m.Val, Round: round, Time: d.env.Now()}
+	d.outcome = Outcome{Decided: true, Value: m.Val, Round: m.Round, Time: d.env.Now(), Relayed: true}
 	d.env.Note(trace.KindDecide, "DECIDE", string(m.Val)+" (relayed)")
-	d.env.Broadcast(DecideMsg{Val: m.Val})
+	d.env.Broadcast(DecideMsg{Val: m.Val, Round: m.Round})
+}
+
+// answerRejoin re-broadcasts a decided outcome in response to a REJOIN: the
+// rejoiner may have been down when the original DECIDE (and its relays)
+// went out, and a decided process takes no further protocol steps, so
+// Task T2's "relay once" must be re-armed for it. It reports whether the
+// process had decided (and therefore answered).
+func (d *decider) answerRejoin() bool {
+	if !d.outcome.Decided {
+		return false
+	}
+	d.env.Broadcast(DecideMsg{Val: d.outcome.Value, Round: d.outcome.Round})
+	return true
 }
 
 // minValue returns the smallest of a non-empty value list (the Leaders'

@@ -21,4 +21,12 @@
 // every paper "wait until" is a guard re-evaluated whenever a message
 // arrives, a timer fires, or a co-located failure-detector module changes
 // output (sim.Poller).
+//
+// Beyond the paper's crash-stop model, both algorithms implement
+// sim.Recoverer with a rejoin protocol for crash-recovery churn: a
+// recovered process re-arms its timer chain under a fresh epoch,
+// broadcasts (REJOIN, r), and either adopts an already-taken decision via
+// the re-armed DECIDE relay or fast-forwards into the live round from the
+// peers' (REJOIN_ACK, round, est) answers — joining only rounds it never
+// voted in, so the quorum-intersection safety arguments are unchanged.
 package core

@@ -68,11 +68,25 @@ type Fig8 struct {
 	// footnote 5: quorums wait for α messages and a value is adopted when
 	// α copies of it arrived. Requires α > n/2 and ≥ α correct processes.
 	alpha int
+
+	// epoch tags the heartbeat timer chain. An outage strands the pre-crash
+	// timer (timers firing on a down process are dropped, but one set just
+	// before the crash can outlive the outage); bumping the epoch on
+	// recovery makes such stale timers recognizable, so the restarted chain
+	// is the only live one.
+	epoch int
+	// rejoining, set on recovery, enables the round-resync fast-forward: any
+	// protocol message of a round above the local one (a REJOIN_ACK, or
+	// ordinary traffic from peers that moved on) pulls the process into that
+	// round's Phase 1. It stays set until the process closes a full Phase 2
+	// quorum — one successful round means it is a normal participant again.
+	rejoining bool
 }
 
 var (
-	_ sim.Process = (*Fig8)(nil)
-	_ sim.Poller  = (*Fig8)(nil)
+	_ sim.Process   = (*Fig8)(nil)
+	_ sim.Poller    = (*Fig8)(nil)
+	_ sim.Recoverer = (*Fig8)(nil)
 )
 
 // NewFig8 creates a consensus instance proposing the given value, using
@@ -141,7 +155,7 @@ func (c *Fig8) Init(env sim.Environment) {
 	c.est1 = c.proposal
 	c.round = 1
 	c.startRound()
-	env.SetTimer(heartbeat, 0)
+	env.SetTimer(heartbeat, c.epoch)
 	c.step()
 }
 
@@ -174,11 +188,40 @@ func (c *Fig8) startRound() {
 
 // OnTimer implements sim.Process: the heartbeat re-evaluates guards whose
 // truth changed with virtual time only (detector stabilization). A decided
-// process stops its heartbeat so that finished executions drain.
+// process stops its heartbeat so that finished executions drain. Timers of
+// an older epoch are stale pre-outage survivors and are ignored — OnRecover
+// started a fresh chain.
 func (c *Fig8) OnTimer(tag int) {
-	if !c.outcome.Decided {
-		c.env.SetTimer(heartbeat, tag)
+	if tag != c.epoch {
+		return
 	}
+	if !c.outcome.Decided {
+		c.env.SetTimer(heartbeat, c.epoch)
+	}
+	c.step()
+}
+
+// OnRecover implements sim.Recoverer: the rejoin protocol. The process
+// re-arms its timer chain under a fresh epoch and broadcasts (REJOIN, r);
+// peers answer from their current round state (RejoinAckMsg) or, if they
+// already decided, by re-sending DECIDE — so the rejoiner either
+// fast-forwards into the live round or adopts the decision through the
+// Task T2 relay. A process that had decided before the outage keeps its
+// decision (state survives a crash) and only re-relays it.
+func (c *Fig8) OnRecover() {
+	if c.env == nil {
+		return // crashed before Init ran; the engine never started this instance
+	}
+	c.epoch++
+	if c.outcome.Decided {
+		// The pre-crash DECIDE broadcast may have been lost in part (e.g. a
+		// crash during the broadcast itself); re-relay it.
+		c.env.Broadcast(DecideMsg{Val: c.outcome.Value, Round: c.outcome.Round})
+		return
+	}
+	c.rejoining = true
+	c.env.SetTimer(heartbeat, c.epoch)
+	c.env.Broadcast(RejoinMsg{Round: c.round})
 	c.step()
 }
 
@@ -186,26 +229,103 @@ func (c *Fig8) OnTimer(tag int) {
 // may have changed guard values.
 func (c *Fig8) Poll() { c.step() }
 
-// OnMessage implements sim.Process.
+// OnMessage implements sim.Process. Every round-stamped message doubles as
+// a resync signal for a rejoining process (maybeResync); the message is
+// recorded in its reception buffer first, so a message that triggers the
+// jump still counts toward its round's quorums.
 func (c *Fig8) OnMessage(payload any) {
 	switch m := payload.(type) {
 	case DecideMsg:
-		c.onDecide(m, c.round)
+		c.onDecide(m)
+	case RejoinMsg:
+		c.onRejoin()
+	case RejoinAckMsg:
+		c.maybeResync(m.Round, m.Est, true)
 	case CoordMsg:
 		if m.ID == c.env.ID() {
 			c.coord[m.Round] = append(c.coord[m.Round], m.Est)
 		}
+		c.maybeResync(m.Round, m.Est, true)
 	case Ph0Msg:
 		if c.ph0[m.Round] == nil {
 			v := m.Est
 			c.ph0[m.Round] = &v
 		}
+		c.maybeResync(m.Round, m.Est, true)
 	case Ph1Msg:
 		c.ph1[m.Round] = append(c.ph1[m.Round], m.Est)
+		c.maybeResync(m.Round, m.Est, true)
 	case Ph2Msg:
 		c.ph2[m.Round] = append(c.ph2[m.Round], m.Est)
+		c.maybeResync(m.Round, m.Est, m.Est != Bottom)
 	}
 	c.step()
+}
+
+// onRejoin answers a peer's (REJOIN, r): a decided process re-sends DECIDE
+// (T2 re-relay), everyone else reports its current position.
+func (c *Fig8) onRejoin() {
+	if c.answerRejoin() {
+		return
+	}
+	c.env.Broadcast(RejoinAckMsg{Round: c.round, Phase: int(c.phase), Est: c.est1, Est2: c.est2})
+}
+
+// maybeResync fast-forwards a rejoining process toward the live protocol
+// state. A round above the local one is joined at Phase 1, casting this
+// process's first — and only — PH1 vote there (rounds are monotone, so a
+// strictly higher round was never voted in). Within the local round, the
+// process may be wedged in a wait whose messages were lost during the
+// outage: a leader in the Coordination Phase skips the co-leader wait
+// (safety rests on the Phase 1/2 quorums alone), and a non-leader in
+// Phase 0 whose leader push was lost adopts the circulating estimate and
+// joins Phase 1 — in both cases no Phase 1/2 broadcast of this round has
+// been made yet, so no vote is ever duplicated. Adopting a circulating
+// est1 is safe because after a decision of v every est1 in any later round
+// equals v (the Phase 2 quorum-intersection lock), and before one, est1
+// values only seed votes.
+func (c *Fig8) maybeResync(round int, est Value, adopt bool) {
+	if !c.rejoining || c.outcome.Decided {
+		return
+	}
+	switch {
+	case round > c.round:
+		if adopt {
+			c.est1 = est
+		}
+		c.round = round
+		// A jumping leader must still play its leader part in the target
+		// round: the co-leaders' Coordination Phase counts its COORD, and
+		// the followers' Phase 0 waits for a leader push — if every holder
+		// of the leading identifier is a rejoiner (churn does not spare
+		// leader groups), skipping these would wedge the whole system in a
+		// silent round. Both are estimate carriers, not votes, so the
+		// once-per-round discipline (first entry into the round) keeps them
+		// safe.
+		if c.leaderNow() {
+			c.env.Broadcast(CoordMsg{ID: c.env.ID(), Round: c.round, Est: c.est1})
+			c.env.Broadcast(Ph0Msg{Round: c.round, Est: c.est1})
+		}
+		c.phase = f8Ph1
+		c.env.Broadcast(Ph1Msg{Round: c.round, Est: c.est1})
+	case round == c.round && c.phase == f8Coord:
+		if adopt {
+			c.est1 = est
+		}
+		c.phase = f8Ph0
+	case round == c.round && c.phase == f8Ph0 && !c.leaderNow():
+		if adopt {
+			c.est1 = est
+		}
+		c.phase = f8Ph1
+		c.env.Broadcast(Ph1Msg{Round: c.round, Est: c.est1})
+	}
+}
+
+// leaderNow reports whether the detector currently elects this process.
+func (c *Fig8) leaderNow() bool {
+	ld, ok := c.d.Leader()
+	return ok && ld.ID == c.env.ID()
 }
 
 // step runs the state machine until no guard fires.
@@ -263,10 +383,8 @@ func (c *Fig8) stepCoord() bool {
 // stepPh0 is Phase 0 (lines 16–18): leaders push their estimate; everyone
 // else adopts the first leader estimate received; all re-broadcast.
 func (c *Fig8) stepPh0() bool {
-	ld, ok := c.d.Leader()
-	iAmLeader := ok && ld.ID == c.env.ID()
 	v := c.ph0[c.round]
-	if !iAmLeader && v == nil {
+	if !c.leaderNow() && v == nil {
 		return false
 	}
 	if v != nil {
@@ -305,6 +423,9 @@ func (c *Fig8) stepPh2() bool {
 	if len(got) < c.quorumSize() {
 		return false
 	}
+	// Closing a full Phase 2 quorum means the process is a normal
+	// participant again: no further rejoin fast-forwards.
+	c.rejoining = false
 	rec := distinct(got)
 	kind, v := classifyRec(rec)
 	switch kind {
@@ -325,3 +446,7 @@ func (c *Fig8) stepPh2() bool {
 
 // Round returns the current round (observability).
 func (c *Fig8) Round() int { return c.round }
+
+// Rejoining reports whether the process is in rejoin catch-up: recovered
+// from an outage and not yet through a full Phase 2 quorum (observability).
+func (c *Fig8) Rejoining() bool { return c.rejoining }

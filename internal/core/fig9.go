@@ -85,11 +85,19 @@ type Fig9 struct {
 	ph1       map[int][]quorMsg
 	ph2       map[int][]quorMsg
 	maxRounds int // safety valve for adversarial tests; 0 = unlimited
+
+	// epoch and rejoining implement the crash-recovery rejoin protocol,
+	// exactly as in Fig8: epoch invalidates timers stranded across an
+	// outage, rejoining enables the round-resync fast-forward until the
+	// process closes a full Phase 2 quorum again.
+	epoch     int
+	rejoining bool
 }
 
 var (
-	_ sim.Process = (*Fig9)(nil)
-	_ sim.Poller  = (*Fig9)(nil)
+	_ sim.Process   = (*Fig9)(nil)
+	_ sim.Poller    = (*Fig9)(nil)
+	_ sim.Recoverer = (*Fig9)(nil)
 )
 
 // NewFig9 creates the homonymous instance with detectors D1 ∈ HΩ, D2 ∈ HΣ.
@@ -127,7 +135,7 @@ func (c *Fig9) Init(env sim.Environment) {
 	c.est1 = c.proposal
 	c.round = 1
 	c.startRound()
-	env.SetTimer(heartbeat, 0)
+	env.SetTimer(heartbeat, c.epoch)
 	c.step()
 }
 
@@ -143,11 +151,37 @@ func (c *Fig9) startRound() {
 
 func (c *Fig9) anonymous() bool { return c.d3 != nil }
 
-// OnTimer implements sim.Process.
+// OnTimer implements sim.Process. Timers of an older epoch are stale
+// pre-outage survivors and are ignored (see OnRecover).
 func (c *Fig9) OnTimer(tag int) {
-	if !c.outcome.Decided {
-		c.env.SetTimer(heartbeat, tag)
+	if tag != c.epoch {
+		return
 	}
+	if !c.outcome.Decided {
+		c.env.SetTimer(heartbeat, c.epoch)
+	}
+	c.step()
+}
+
+// OnRecover implements sim.Recoverer — the same rejoin protocol as Fig8:
+// restart the timer chain under a fresh epoch, broadcast (REJOIN, r), and
+// either fast-forward into the live round from the acks or adopt an
+// already-taken decision through the re-armed Task T2 relay. The sub-round
+// machinery then catches the rejoiner up within the round: its Phase 1
+// entry starts at sub-round 1 and climbs on every peer message carrying a
+// higher sub-round, broadcasting once per sub-round passed.
+func (c *Fig9) OnRecover() {
+	if c.env == nil {
+		return // crashed before Init ran; the engine never started this instance
+	}
+	c.epoch++
+	if c.outcome.Decided {
+		c.env.Broadcast(DecideMsg{Val: c.outcome.Value, Round: c.outcome.Round})
+		return
+	}
+	c.rejoining = true
+	c.env.SetTimer(heartbeat, c.epoch)
+	c.env.Broadcast(RejoinMsg{Round: c.round})
 	c.step()
 }
 
@@ -155,27 +189,124 @@ func (c *Fig9) OnTimer(tag int) {
 // particular) drive the sub-round machinery.
 func (c *Fig9) Poll() { c.step() }
 
-// OnMessage implements sim.Process.
+// OnMessage implements sim.Process. As in Fig8, round-stamped messages
+// double as resync signals for a rejoining process, after being recorded
+// in the reception buffers.
 func (c *Fig9) OnMessage(payload any) {
 	switch m := payload.(type) {
 	case DecideMsg:
-		c.onDecide(m, c.round)
+		c.onDecide(m)
+	case RejoinMsg:
+		c.onRejoin()
+	case RejoinAckMsg:
+		c.onRejoinAck(m)
 	case CoordMsg:
 		c.coordSeen[m.Round] = true
 		if m.ID == c.env.ID() {
 			c.coord[m.Round] = append(c.coord[m.Round], m.Est)
 		}
+		c.maybeResync(m.Round, m.Est, true)
 	case Ph0Msg:
 		if c.ph0[m.Round] == nil {
 			v := m.Est
 			c.ph0[m.Round] = &v
 		}
+		c.maybeResync(m.Round, m.Est, true)
 	case Ph1QMsg:
 		c.ph1[m.Round] = append(c.ph1[m.Round], toQuorMsg(m.ID, m.SR, m.Labels, m.Est))
+		c.maybeResync(m.Round, m.Est, true)
 	case Ph2QMsg:
 		c.ph2[m.Round] = append(c.ph2[m.Round], toQuorMsg(m.ID, m.SR, m.Labels, m.Est))
+		c.maybeResync(m.Round, m.Est, m.Est != Bottom)
 	}
 	c.step()
+}
+
+// onRejoin answers a peer's (REJOIN, r); see Fig8.onRejoin.
+func (c *Fig9) onRejoin() {
+	if c.answerRejoin() {
+		return
+	}
+	c.env.Broadcast(RejoinAckMsg{Round: c.round, Phase: int(c.phase), SR: c.sr, Est: c.est1, Est2: c.est2})
+}
+
+// onRejoinAck handles a peer's position report. Besides the generic resync
+// (round jumps and Coord/Ph0 escapes), a rejoiner stranded *inside*
+// Phase 1 or 2 of the responder's round follows the responder: a responder
+// already in Phase 2 concludes Phase 1 for the rejoiner (the ack plays the
+// role of the buffered PH2 of lines 23–24, whose copies died with the
+// outage), and a responder deeper into the same phase pulls the rejoiner's
+// sub-round forward — it jumps to the responder's sub-round and broadcasts
+// there, a (round, sub-round) it has never broadcast in (its sub-round
+// counter survives the outage and only moves forward), so the per-sender
+// uniqueness the HΣ quorum matching relies on is preserved. Without this,
+// a rejoiner whose label set never changes again (recovery after the
+// detector stabilized) has no trigger left and wedges the everyone-quorums
+// of the whole system.
+func (c *Fig9) onRejoinAck(m RejoinAckMsg) {
+	c.maybeResync(m.Round, m.Est, true)
+	if !c.rejoining || c.outcome.Decided || m.Round != c.round {
+		return
+	}
+	switch {
+	case c.phase == f9Ph1 && fig9Phase(m.Phase) == f9Ph2:
+		// Phase 1 concluded elsewhere (lines 23–24, ack-carried).
+		c.est2 = m.Est2
+		c.enterPhase2()
+	case c.phase == fig9Phase(m.Phase) && (c.phase == f9Ph1 || c.phase == f9Ph2) && m.SR > c.sr:
+		c.sr = m.SR
+		c.currentLabels = c.d2.Labels()
+		if c.phase == f9Ph1 {
+			c.env.Broadcast(Ph1QMsg{ID: c.env.ID(), Round: c.round, SR: c.sr, Labels: c.currentLabels, Est: c.est1})
+		} else {
+			c.env.Broadcast(Ph2QMsg{ID: c.env.ID(), Round: c.round, SR: c.sr, Labels: c.currentLabels, Est: c.est2})
+		}
+	}
+}
+
+// maybeResync fast-forwards a rejoining process toward the live protocol
+// state — see Fig8.maybeResync for the full safety argument. Higher rounds
+// are joined at Phase 1 / sub-round 1 (the HΣ quorum matching is per
+// (round, sub-round, sender), and the rejoiner's sub-round climb
+// broadcasts at most once per sub-round, so sender multisets never see a
+// duplicate); within the local round, a Coordination-Phase or Phase 0 wait
+// whose messages were lost in the outage is skipped. Fig. 9 in particular
+// needs the within-round escape: its HΣ quorums can require every
+// eventually-up process, so a single wedged rejoiner would wedge the whole
+// system.
+func (c *Fig9) maybeResync(round int, est Value, adopt bool) {
+	if !c.rejoining || c.outcome.Decided {
+		return
+	}
+	switch {
+	case round > c.round:
+		if adopt {
+			c.est1 = est
+		}
+		c.round = round
+		// As in Fig8.maybeResync: a jumping leader still owes the target
+		// round its COORD (homonymous variant only) and its Phase 0 push —
+		// when churn takes out a whole leader group, the rejoiners are the
+		// only processes that can unwedge the co-leader waits and the
+		// followers' Phase 0.
+		if c.leaderNow() {
+			if !c.anonymous() {
+				c.env.Broadcast(CoordMsg{ID: c.env.ID(), Round: c.round, Est: c.est1})
+			}
+			c.env.Broadcast(Ph0Msg{Round: c.round, Est: c.est1})
+		}
+		c.enterPhase1()
+	case round == c.round && c.phase == f9Coord:
+		if adopt {
+			c.est1 = est
+		}
+		c.phase = f9Ph0
+	case round == c.round && c.phase == f9Ph0 && !c.leaderNow():
+		if adopt {
+			c.est1 = est
+		}
+		c.enterPhase1()
+	}
 }
 
 func toQuorMsg(id ident.ID, sr int, labels []fd.Label, est Value) quorMsg {
@@ -300,6 +431,9 @@ func (c *Fig9) stepPh2() bool {
 	}
 	// Lines 45–54: quorum match and the three reception cases.
 	if rec, ok := c.matchQuorum(c.ph2[c.round]); ok {
+		// A matched Phase 2 quorum means the process is a normal
+		// participant again: no further rejoin fast-forwards.
+		c.rejoining = false
 		kind, v := classifyRec(distinct(rec))
 		switch kind {
 		case recAllSameValue:
@@ -418,6 +552,10 @@ func (c *Fig9) Round() int { return c.round }
 
 // SubRound returns the current sub-round (observability).
 func (c *Fig9) SubRound() int { return c.sr }
+
+// Rejoining reports whether the process is in rejoin catch-up: recovered
+// from an outage and not yet through a full Phase 2 quorum (observability).
+func (c *Fig9) Rejoining() bool { return c.rejoining }
 
 // SetMaxRounds bounds the rounds executed (0 = unlimited); adversarial
 // experiments use it to stop non-deciding configurations gracefully.

@@ -1,0 +1,329 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/fd/oracle"
+	"repro/internal/ident"
+	"repro/internal/sim"
+)
+
+// These tests drive the rejoin protocol through an adversary grid: crashes
+// mid-round, crashes after a decision was broadcast, crashes *during* the
+// DECIDE broadcast itself (the PR 2 CrashDuringBroadcast machinery), each
+// followed by a recovery — under rotating/split leader oracles and several
+// seeds. Every run must keep InvariantErr() nil, satisfy the
+// crash-recovery consensus properties (Termination over the eventually-up
+// set), and never lose or change a decision across an outage.
+
+// churnTruth builds the ground truth for an explicit crash/recover
+// schedule (the engine consumes the same events via ApplyChurn).
+func churnTruth(ids ident.Assignment, evs []sim.ChurnEvent) *fd.GroundTruth {
+	return fd.NewGroundTruthFromChurn(ids, evs)
+}
+
+// verifyChurnRun asserts the full crash-recovery contract on a finished
+// run: engine bookkeeping matches the schedule-derived truth, invariants
+// held, decisions were stable, and the restated properties pass.
+func verifyChurnRun(t *testing.T, tag string, eng *sim.Engine, truth *fd.GroundTruth,
+	proposals []core.Value, outcomes []core.Outcome, invErr func(int) error, mon *check.DecisionMonitor) check.Report {
+	t.Helper()
+	if eng.Stopped() == sim.StopMaxEvents {
+		t.Fatalf("%s: run truncated by MaxEvents", tag)
+	}
+	if got, want := eng.EventuallyUpSet(), truth.EventuallyUp(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("%s: engine EventuallyUpSet %v != truth %v", tag, got, want)
+	}
+	if got, want := eng.CorrectSet(), truth.Correct(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("%s: engine CorrectSet %v != truth %v", tag, got, want)
+	}
+	for i := range outcomes {
+		if err := invErr(i); err != nil {
+			t.Fatalf("%s: invariant: %v", tag, err)
+		}
+	}
+	if err := mon.Err(); err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	rep, err := check.ConsensusChurn(truth, proposals, outcomes)
+	if err != nil {
+		t.Fatalf("%s: %v", tag, err)
+	}
+	return rep
+}
+
+// runFig8Churn wires n Fig8 instances over HΩ oracles, applies the churn
+// schedule (and optional CrashDuringBroadcast arms), runs until every
+// eventually-up process decided, and verifies the full contract.
+func runFig8Churn(t *testing.T, tag string, ids ident.Assignment, tt int, evs []sim.ChurnEvent,
+	mode oracle.Adversary, stabilize sim.Time, seed int64) []core.Outcome {
+	t.Helper()
+	n := ids.N()
+	proposals := make([]core.Value, n)
+	eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: seed, KnownN: true})
+	truth := churnTruth(ids, evs)
+	world := oracle.NewWorld(truth, stabilize)
+	insts := make([]*core.Fig8, n)
+	for i := 0; i < n; i++ {
+		proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+		det := oracle.NewHOmega(world, mode)
+		insts[i] = core.NewFig8(det, tt, proposals[i])
+		eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
+	}
+	eng.ApplyChurn(evs)
+	mon := check.NewDecisionMonitor()
+	eng.AfterEvent(func(_ sim.Time, p sim.PID) {
+		if p >= 0 {
+			mon.Observe(p, insts[p].Decided())
+		}
+	})
+	eng.RunUntil(1_000_000, func() bool {
+		for _, p := range truth.EventuallyUp() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+	}
+	verifyChurnRun(t, tag, eng, truth, proposals, outcomes,
+		func(i int) error { return insts[i].InvariantErr() }, mon)
+	return outcomes
+}
+
+// TestFig8RejoinMidRound: a churner crashes early — mid-round, before the
+// leader output stabilizes — and recovers while the survivors are still
+// (or again) working; it must rejoin and decide.
+func TestFig8RejoinMidRound(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, mode := range []oracle.Adversary{oracle.AdversaryNone, oracle.AdversaryRotate, oracle.AdversarySplit} {
+			evs := []sim.ChurnEvent{
+				{P: 0, At: 3},
+				{P: 0, At: 120, Recover: true},
+			}
+			tag := fmt.Sprintf("seed=%d mode=%d", seed, mode)
+			runFig8Churn(t, tag, ident.Balanced(5, 2), 2, evs, mode, 150, seed)
+		}
+	}
+}
+
+// TestFig8RejoinAfterDecision: the survivors decide while the churner is
+// down (stabilize=0, fast leaders); the churner recovers long after and
+// must adopt the decision through the re-armed DECIDE relay, reporting the
+// round the decision was actually reached in.
+func TestFig8RejoinAfterDecision(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		evs := []sim.ChurnEvent{
+			{P: 1, At: 2},
+			{P: 1, At: 400, Recover: true},
+		}
+		outs := runFig8Churn(t, fmt.Sprintf("seed=%d", seed), ident.Balanced(5, 2), 2, evs, oracle.AdversaryNone, 0, seed)
+		if !outs[1].Decided {
+			t.Fatalf("seed=%d: rejoiner did not decide", seed)
+		}
+		if outs[1].Relayed {
+			// The relay carried the origin round; assert it matches a quorum
+			// decision (ConsensusChurn already did — this pins the field).
+			found := false
+			for i, o := range outs {
+				if i != 1 && o.Decided && !o.Relayed && o.Round == outs[1].Round {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("seed=%d: relayed round %d matches no quorum decision: %+v", seed, outs[1].Round, outs)
+			}
+		}
+	}
+}
+
+// TestFig8RejoinCrashDuringDecideBroadcast reuses the PR 2 mid-broadcast
+// partial-crash machinery: the victim crashes during its first broadcast
+// after `after`, each copy delivered with probability p — sweeping `after`
+// over the decision window makes some runs cut the DECIDE broadcast itself
+// (decided before the crash) and others an earlier phase broadcast
+// (undecided at the crash). Both classes must verify, and the grid must
+// hit both.
+func TestFig8RejoinCrashDuringDecideBroadcast(t *testing.T) {
+	ids := ident.Balanced(5, 2)
+	n := ids.N()
+	decidedBeforeCrash, undecidedAtCrash := 0, 0
+	for seed := int64(1); seed <= 6; seed++ {
+		for _, after := range []sim.Time{6, 10, 14, 18} {
+			for _, prob := range []float64{0.0, 0.4, 0.8} {
+				tag := fmt.Sprintf("seed=%d after=%d prob=%v", seed, after, prob)
+				proposals := make([]core.Value, n)
+				eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: seed, KnownN: true})
+				// The truth is reconstructed after the run (the arm's crash
+				// time is execution-dependent); the world stabilizes at 0 so
+				// decisions happen inside the sweep's `after` window.
+				pending := churnTruth(ids, nil)
+				world := oracle.NewWorld(pending, 0)
+				insts := make([]*core.Fig8, n)
+				for i := 0; i < n; i++ {
+					proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+					det := oracle.NewHOmega(world, oracle.AdversaryNone)
+					insts[i] = core.NewFig8(det, 2, proposals[i])
+					eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
+				}
+				const victim = 2
+				eng.CrashDuringBroadcast(victim, after, prob)
+				eng.RecoverAt(victim, 500)
+				mon := check.NewDecisionMonitor()
+				eng.AfterEvent(func(_ sim.Time, p sim.PID) {
+					if p >= 0 {
+						mon.Observe(p, insts[p].Decided())
+					}
+				})
+				var crashedDecided, crashedUndecided bool
+				eng.AfterEvent(func(_ sim.Time, p sim.PID) {
+					if p == victim && eng.Crashed(victim) && !crashedDecided && !crashedUndecided {
+						if insts[victim].Decided().Decided {
+							crashedDecided = true
+						} else {
+							crashedUndecided = true
+						}
+					}
+				})
+				// Run to quiescence (not an early-exit predicate): decided
+				// processes drain their heartbeats, the scheduled recovery
+				// fires either way, and an arm whose broadcast never came
+				// is disarmed — so the engine's Correct/EventuallyUp sets
+				// are final before they are cross-checked.
+				eng.Run(1_000_000)
+				var evs []sim.ChurnEvent
+				if eng.EverCrashed(victim) {
+					// Reconstruct the fault pattern the execution realized:
+					// one outage, ended by the scheduled recovery. (Interval
+					// boundaries don't matter to ConsensusChurn — only the
+					// eventually-up classification does.)
+					evs = []sim.ChurnEvent{{P: victim, At: after}, {P: victim, At: 500, Recover: true}}
+				}
+				truth := churnTruth(ids, evs)
+				outcomes := make([]core.Outcome, n)
+				for i, inst := range insts {
+					outcomes[i] = inst.Decided()
+				}
+				verifyChurnRun(t, tag, eng, truth, proposals, outcomes,
+					func(i int) error { return insts[i].InvariantErr() }, mon)
+				if crashedDecided {
+					decidedBeforeCrash++
+				}
+				if crashedUndecided {
+					undecidedAtCrash++
+				}
+			}
+		}
+	}
+	if decidedBeforeCrash == 0 || undecidedAtCrash == 0 {
+		t.Fatalf("grid did not cover both crash classes: decided-before-crash=%d undecided-at-crash=%d",
+			decidedBeforeCrash, undecidedAtCrash)
+	}
+}
+
+// runFig9Churn is runFig8Churn for Fig9 over HΩ+HΣ oracles.
+func runFig9Churn(t *testing.T, tag string, ids ident.Assignment, evs []sim.ChurnEvent,
+	mode oracle.Adversary, stabilize sim.Time, seed int64) []core.Outcome {
+	t.Helper()
+	n := ids.N()
+	proposals := make([]core.Value, n)
+	eng := sim.New(sim.Config{IDs: ids, Net: sim.Async{MaxDelay: 8}, Seed: seed})
+	truth := churnTruth(ids, evs)
+	world := oracle.NewWorld(truth, stabilize)
+	insts := make([]*core.Fig9, n)
+	for i := 0; i < n; i++ {
+		proposals[i] = core.Value(fmt.Sprintf("v%d", i))
+		hs := oracle.NewHSigma(world)
+		ho := oracle.NewHOmega(world, mode)
+		insts[i] = core.NewFig9(ho, hs, proposals[i])
+		eng.AddProcess(sim.NewNode().Add("hsigma", hs).Add("homega", ho).Add("consensus", insts[i]))
+	}
+	eng.ApplyChurn(evs)
+	mon := check.NewDecisionMonitor()
+	eng.AfterEvent(func(_ sim.Time, p sim.PID) {
+		if p >= 0 {
+			mon.Observe(p, insts[p].Decided())
+		}
+	})
+	eng.RunUntil(1_000_000, func() bool {
+		for _, p := range truth.EventuallyUp() {
+			if !insts[p].Decided().Decided {
+				return false
+			}
+		}
+		return true
+	})
+	outcomes := make([]core.Outcome, n)
+	for i, inst := range insts {
+		outcomes[i] = inst.Decided()
+	}
+	verifyChurnRun(t, tag, eng, truth, proposals, outcomes,
+		func(i int) error { return insts[i].InvariantErr() }, mon)
+	return outcomes
+}
+
+// TestFig9RejoinMidRound: churners (including a leader-identifier holder,
+// whose Coordination-Phase wait is the nastiest place to die) crash
+// mid-round and recover; Fig. 9's HΣ "corr" quorum needs every
+// eventually-up process, so the rejoiners' sub-round climb is on the
+// critical path of everyone's termination.
+func TestFig9RejoinMidRound(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, mode := range []oracle.Adversary{oracle.AdversaryNone, oracle.AdversaryRotate} {
+			evs := []sim.ChurnEvent{
+				{P: 0, At: 2}, // smallest-id holder: a stabilized leader
+				{P: 0, At: 90, Recover: true},
+				{P: 3, At: 9},
+				{P: 3, At: 110, Recover: true},
+			}
+			tag := fmt.Sprintf("seed=%d mode=%d", seed, mode)
+			runFig9Churn(t, tag, ident.Balanced(6, 3), evs, mode, 160, seed)
+		}
+	}
+}
+
+// TestFig9RejoinStableLabels wedge-hunts the hardest Fig. 9 catch-up case:
+// with stabilize=0 the HΣ labels never change during the run, so the
+// label-growth sub-round trigger — which accidentally rescues most
+// mid-round recoveries — never fires. A rejoiner stranded inside Phase 1
+// or 2 of its round (peers consumed its pre-crash quorum message and moved
+// on, their later traffic died with the outage) can then only catch up
+// through the REJOIN_ACK exchange: the acks must carry enough position
+// (phase, sub-round, est2) for the rejoiner to follow — and Fig. 9's
+// everyone-quorums make that rejoiner the whole system's critical path.
+func TestFig9RejoinStableLabels(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, crashAt := range []sim.Time{3, 6, 9, 12, 15, 18} {
+			evs := []sim.ChurnEvent{
+				{P: 1, At: crashAt},
+				{P: 1, At: 200, Recover: true},
+			}
+			tag := fmt.Sprintf("seed=%d crash=%d", seed, crashAt)
+			runFig9Churn(t, tag, ident.Balanced(6, 3), evs, oracle.AdversaryNone, 0, seed)
+		}
+	}
+}
+
+// TestFig9RejoinAfterDecision: decisions land while the churner is down
+// (final-down co-churner shrinks the quorum target to the eventually-up
+// set); the late rejoiner must adopt via the re-armed DECIDE relay.
+func TestFig9RejoinAfterDecision(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		evs := []sim.ChurnEvent{
+			{P: 2, At: 2},
+			{P: 2, At: 600, Recover: true},
+			{P: 5, At: 15}, // final down: never recovers
+		}
+		outs := runFig9Churn(t, fmt.Sprintf("seed=%d", seed), ident.Balanced(6, 3), evs, oracle.AdversaryNone, 60, seed)
+		if !outs[2].Decided {
+			t.Fatalf("seed=%d: rejoiner did not decide", seed)
+		}
+	}
+}

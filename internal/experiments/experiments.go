@@ -121,6 +121,7 @@ func Registry() []Builder {
 		{"E17", E17PhaseMessageBreakdown},
 		{"E18", E18ChurnSweep},
 		{"E19", E19HeavyTailDelays},
+		{"E20", E20ChurnConsensus},
 	}
 }
 

@@ -90,19 +90,19 @@ func TestTablesSelection(t *testing.T) {
 	}
 }
 
-// TestCampaignModesByteIdentical is the acceptance pin at the experiments
-// layer: one table built (a) in the default single-shard in-memory mode,
-// (b) as 3 in-process shards with checkpoints, and (c) as 3 shard-only
-// runs — one campaign.Run call per shard, exactly what three separate
-// processes execute — then merged via -resume semantics, must agree byte
-// for byte in markdown and digest.
-func TestCampaignModesByteIdentical(t *testing.T) {
+// assertCampaignModesByteIdentical pins one table's byte-identity across
+// campaign layouts: (a) the default single-shard in-memory mode, (b) 3
+// in-process shards with checkpoints, and (c) 3 shard-only runs — one
+// campaign.Run call per shard, exactly what three separate processes
+// execute — then merged via -resume semantics.
+func assertCampaignModesByteIdentical(t *testing.T, id string, builder func() (Table, error)) {
+	t.Helper()
 	defer SetCampaign(campaign.Config{})
 
 	build := func(cfg campaign.Config) Table {
 		t.Helper()
 		SetCampaign(cfg)
-		table, err := E1SigmaToHSigmaKnown()
+		table, err := builder()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -125,7 +125,7 @@ func TestCampaignModesByteIdentical(t *testing.T) {
 		if !shard.Partial || shard.Rows != nil {
 			t.Fatalf("shard-only run %d returned a full table: %+v", s, shard)
 		}
-		if _, err := os.Stat(campaign.ShardPath(dir, "E1", 3, s)); err != nil {
+		if _, err := os.Stat(campaign.ShardPath(dir, id, 3, s)); err != nil {
 			t.Fatalf("shard %d checkpoint not written: %v", s, err)
 		}
 	}
@@ -135,11 +135,24 @@ func TestCampaignModesByteIdentical(t *testing.T) {
 	}
 
 	// A damaged checkpoint must be rejected by a bare merge.
-	path := campaign.ShardPath(dir, "E1", 3, 1)
+	path := campaign.ShardPath(dir, id, 3, 1)
 	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := campaign.Merge[[]string](dir, "E1", 3, 3); err == nil {
+	if _, err := campaign.Merge[[]string](dir, id, 3, 3); err == nil {
 		t.Fatal("merge accepted a corrupt shard checkpoint")
 	}
+}
+
+// TestCampaignModesByteIdentical is the acceptance pin at the experiments
+// layer (reduction workload, E1).
+func TestCampaignModesByteIdentical(t *testing.T) {
+	assertCampaignModesByteIdentical(t, "E1", E1SigmaToHSigmaKnown)
+}
+
+// TestE20CampaignModesByteIdentical extends the pin to the churn-consensus
+// table: the rejoin protocol, decision-stability monitoring, and the churn
+// cross-checks must all be deterministic under every shard layout.
+func TestE20CampaignModesByteIdentical(t *testing.T) {
+	assertCampaignModesByteIdentical(t, "E20", E20ChurnConsensus)
 }

@@ -145,7 +145,7 @@ func (p *participant) run(ctx context.Context, v core.Value) (core.Value, error)
 		}
 		switch {
 		case sawVal != nil && !sawBot:
-			p.dm.Send(p.cfg.Module, core.DecideMsg{Val: *sawVal})
+			p.dm.Send(p.cfg.Module, core.DecideMsg{Val: *sawVal, Round: r})
 			return *sawVal, nil
 		case sawVal != nil:
 			est1 = *sawVal
@@ -190,7 +190,8 @@ func (p *participant) handle(m any) {
 		if p.decided == nil {
 			v := msg.Val
 			p.decided = &v
-			p.dm.Send(p.cfg.Module, core.DecideMsg{Val: v}) // relay once
+			// Relay once, preserving the deciding round (not the local one).
+			p.dm.Send(p.cfg.Module, core.DecideMsg{Val: v, Round: msg.Round})
 		}
 	case core.CoordMsg:
 		if msg.ID == p.id {

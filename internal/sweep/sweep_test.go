@@ -282,6 +282,22 @@ func TestChurnHeavyTailSweepDeterminism(t *testing.T) {
 			})
 			return fmt.Sprintf("hb-1000 %+v %v", res, err)
 		},
+		func() string { // consensus under churn: Fig. 8 with the rejoin protocol
+			res, err := hds.RunChurnFig8(hds.ChurnFig8Experiment{
+				IDs: ident.Balanced(5, 2), T: 2,
+				Churn: hds.ChurnSpec{Fraction: 0.3, Cycles: 1, Start: 2, Down: 60},
+				Net:   sim.Async{MaxDelay: 8}, Seed: 4,
+			})
+			return fmt.Sprintf("churn-fig8 %+v %v", res, err)
+		},
+		func() string { // consensus under churn: Fig. 9, final-down churners
+			res, err := hds.RunChurnFig9(hds.ChurnFig9Experiment{
+				IDs:   ident.Balanced(6, 3),
+				Churn: hds.ChurnSpec{Fraction: 0.34, Cycles: 2, Start: 2, Down: 30, Up: 40, FinalDown: true},
+				Net:   sim.Async{MaxDelay: 8}, Seed: 5,
+			})
+			return fmt.Sprintf("churn-fig9 %+v %v", res, err)
+		},
 	}
 	run := func(workers int) []string {
 		return sweep.MapOpt(sweep.Options{Workers: workers}, scenarios, func(_ int, f func() string) string {
@@ -315,6 +331,7 @@ func TestExperimentTablesIdenticalAcrossWorkerCounts(t *testing.T) {
 		experiments.E6DiamondHPbar,
 		experiments.E9Fig8Consensus,
 		experiments.E10Fig9Consensus,
+		experiments.E20ChurnConsensus,
 	}
 	render := func(workers int) []string {
 		sweep.SetDefaultWorkers(workers)
