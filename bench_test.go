@@ -290,3 +290,36 @@ func BenchmarkChurnEngine1000(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/op")
 }
+
+// benchChurnEngineAt runs the population-scaling heartbeat scenario (a
+// fixed beater pool, so event volume is Θ(beaters·n) and n is the
+// stressed dimension) with streaming verification on — the E21 workload
+// as a per-commit benchmark. The max-queue metric is the lazy fan-out
+// witness: it must stay in the thousands at every n.
+func benchChurnEngineAt(b *testing.B, n, l, beaters int, frac float64) {
+	b.Helper()
+	var events, maxQ int64
+	for i := 0; i < b.N; i++ {
+		res, err := hds.RunHeartbeatChurn(hds.HeartbeatExperiment{
+			IDs:   hds.BalancedIDs(n, l),
+			Churn: hds.ChurnSpec{Fraction: frac, Cycles: 1, Start: 5, Down: 12},
+			Seed:  int64(i), Period: 15, Horizon: 45,
+			Beaters: beaters, MaxEvents: 100_000_000, StreamVerify: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += int64(res.Processed)
+		maxQ += int64(res.MaxQueue)
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/op")
+	b.ReportMetric(float64(maxQ)/float64(b.N), "max-queue/op")
+}
+
+func BenchmarkChurnEngine10k(b *testing.B) {
+	benchChurnEngineAt(b, 10_000, 100, 100, 0.1)
+}
+
+func BenchmarkChurnEngine50k(b *testing.B) {
+	benchChurnEngineAt(b, 50_000, 200, 100, 0.05)
+}

@@ -7,12 +7,22 @@
 //	go run ./cmd/hdsim -algo ohp -n 12 -l 4 -churn 0.25:2:40:60
 //	go run ./cmd/hdsim -algo fig8 -n 5 -l 2 -t 2 -churn 0.3:1:60
 //	go run ./cmd/hdsim -algo fig9 -n 6 -l 3 -churn 0.34:2:40:50
+//	go run ./cmd/hdsim -algo heartbeat -n 50000 -l 200 -beaters 100 -churn 0.05:1:12:20:0 -horizon 45 -max-events 100000000
 //
 // Algorithms: fig8 = HAS[t<n/2, HΩ] (Theorem 7); fig9 = HAS[HΩ, HΣ]
 // (Theorem 8, any number of crashes); fig9-anon = the anonymous AΩ
-// baseline; ohp = the standalone Figure 6 detector (◇HP̄ → HΩ). Every run
-// is verified (consensus properties, or detector class properties) before
-// results are printed; a verification failure exits non-zero.
+// baseline; ohp = the standalone Figure 6 detector (◇HP̄ → HΩ); heartbeat
+// = the population-scale churn workload (lazy broadcast fan-out plus
+// streaming verification, constant memory in the event count — the E21
+// scenario). Every run is verified (consensus properties, detector class
+// properties, or — for heartbeat — ground-truth churn bookkeeping,
+// delivery accounting, and delivery liveness) before results are printed;
+// a verification failure exits non-zero.
+//
+// heartbeat-only flags: -period sets the beat interval; -beaters caps how
+// many processes beat (0 = all n; the rest only listen, so event volume
+// is Θ(beaters·n) while every broadcast still fans out to all n live
+// recipients); -max-events overrides the engine's runaway-guard cap.
 //
 // -churn adds a crash-recovery churn schedule to any algorithm. Under ohp
 // the detector's churn-restated class properties are verified; under the
@@ -28,10 +38,13 @@
 // psync:gst:delta, timely[:δ], pareto[:α[:cap]], lognormal[:σ[:cap]],
 // alt[:period[:calm]], asym[:skew]. It overrides -gst/-delta.
 //
-// -trace FILE streams the run's full event trace to FILE (one event per
-// line, the canonical trace.WriteText rendering). The trace is spilled in
-// batches of -trace-buf events through a trace.WriterSink, so even a
-// multi-million-event run traces in constant memory. Single runs only.
+// -trace FILE streams the run's full event trace to FILE. -trace-format
+// selects the sink: text (the default; one event per line, the canonical
+// trace.WriteText rendering) or binary (a compact varint stream, ~6
+// bytes/event, decoded with trace.ReadBinary). Either way the trace is
+// spilled in batches of -trace-buf events (negative values are rejected),
+// so even a multi-million-event run traces in constant memory. Single
+// runs only.
 //
 // With -seeds k > 1 the same scenario is swept over k consecutive seeds in
 // parallel across all cores (deterministically: the report is identical

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	algo := flag.String("algo", "fig8", "fig8, fig9, fig9-anon, or ohp (standalone Figure 6 detector)")
+	algo := flag.String("algo", "fig8", "fig8, fig9, fig9-anon, ohp (standalone Figure 6 detector), or heartbeat (population-scale churn workload)")
 	n := flag.Int("n", 5, "number of processes")
 	l := flag.Int("l", 2, "number of distinct identifiers (1 = anonymous, n = unique)")
 	t := flag.Int("t", 2, "crash bound for fig8 (t < n/2)")
@@ -33,17 +33,27 @@ func main() {
 	gst := flag.Int64("gst", 0, "network GST (0 = fully asynchronous reliable)")
 	delta := flag.Int64("delta", 3, "post-GST latency bound")
 	horizon := flag.Int64("horizon", 0, "virtual-time horizon (0 = algorithm default)")
+	period := flag.Int64("period", 15, "heartbeat beat interval (heartbeat only)")
+	beaters := flag.Int("beaters", 0, "how many processes beat, the rest listen (heartbeat only; 0 = all n)")
+	maxEvents := flag.Int("max-events", 0, "override the engine's runaway-guard event cap (0 = engine default)")
 	tracePath := flag.String("trace", "", "stream the full event trace to this file (single runs only)")
 	traceBuf := flag.Int("trace-buf", 0, "trace spill batch size in events (0 = default 4096)")
+	traceFormat := flag.String("trace-format", "text", "trace encoding: text (canonical lines) or binary (compact varint stream, decode with trace.ReadBinary)")
 	campaignFlags := cliutil.CampaignFlags(flag.CommandLine)
 	flag.Parse()
 	sweep.SetDefaultWorkers(*workers)
 
-	// The trace is spilled in batches through a trace.WriterSink, so a
-	// huge run's trace streams to disk in constant memory instead of
-	// accumulating events in the recorder.
+	// The trace is spilled in batches through a trace.Sink, so a huge
+	// run's trace streams to disk in constant memory instead of
+	// accumulating events in the recorder. -trace-format binary swaps the
+	// canonical text sink for the compact varint encoding — roughly an
+	// order of magnitude smaller and free of per-event formatting, which
+	// is what keeps population-scale traced runs disk- and CPU-viable.
 	var traceRec *trace.Recorder
 	var traceFile *os.File
+	if err := cliutil.ValidateTraceBuf(*traceBuf); err != nil {
+		log.Fatal(err)
+	}
 	if *tracePath != "" {
 		if *seeds > 1 {
 			log.Fatal("-trace applies to single runs: seed sweeps would interleave unrelated traces")
@@ -53,7 +63,16 @@ func main() {
 			log.Fatal(err)
 		}
 		traceFile = f
-		traceRec = trace.NewSpillRecorder(trace.NewWriterSink(f), *traceBuf)
+		var sink trace.Sink
+		switch *traceFormat {
+		case "text":
+			sink = trace.NewWriterSink(f)
+		case "binary":
+			sink = trace.NewBinarySink(f)
+		default:
+			log.Fatalf("-trace-format %q: want text or binary", *traceFormat)
+		}
+		traceRec = trace.NewSpillRecorder(sink, *traceBuf)
 	}
 	if traceRec != nil {
 		// Fatal exits must flush too: a failed run is exactly when the
@@ -114,6 +133,17 @@ func main() {
 			log.Fatal("-seeds > 1 is not supported with -algo ohp; sweep seeds with the consensus algorithms or via internal/sweep")
 		}
 		runOHP(ids, net, *netSpec != "" || *gst > 0, sched, churnSpec, *gst, *delta, *seed, *horizon, traceRec)
+		closeTrace()
+		return
+	}
+	if *algo == "heartbeat" {
+		if *seeds > 1 {
+			log.Fatal("-seeds > 1 is not supported with -algo heartbeat; sweep seeds via internal/sweep")
+		}
+		if len(sched) > 0 {
+			log.Fatal("-algo heartbeat takes a -churn spec, not -crashes")
+		}
+		runHeartbeat(ids, net, churnSpec, *period, *beaters, *maxEvents, *seed, *horizon, traceRec)
 		closeTrace()
 		return
 	}
@@ -273,6 +303,39 @@ func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PI
 	fmt.Printf("  ◇HP̄ stabilized:  t=%d\n", res.TrustedStabilization)
 	fmt.Printf("  HΩ stabilized:    t=%d  leader=%s\n", res.LeaderStabilization, res.Leader)
 	fmt.Printf("  broadcasts:       %d — %s\n", res.Stats.Broadcasts, cliutil.FormatTagCounts(res.Stats.ByTag))
+}
+
+// runHeartbeat runs the population-scale heartbeat churn workload with
+// streaming verification on: engine fault bookkeeping is cross-checked
+// against the schedule-derived ground truth, per-process delivery
+// counters against the recorder's delivery total, and delivery liveness
+// through a streaming probe — all in memory independent of the event
+// count, which is what lets -n reach 50,000.
+func runHeartbeat(ids hds.Assignment, net sim.Model, churn hds.ChurnSpec,
+	period int64, beaters, maxEvents int, seed, horizon int64, traceRec *trace.Recorder) {
+	fmt.Printf("algo=heartbeat n=%d ℓ=%d beaters=%s churn=%s net=%s period=%d seed=%d\n",
+		ids.N(), ids.DistinctCount(), beatersLabel(beaters, ids.N()), churn, net, period, seed)
+	res, err := hds.RunHeartbeatChurn(hds.HeartbeatExperiment{
+		IDs: ids, Churn: churn, Net: net, Period: period, Seed: seed,
+		Horizon: horizon, Beaters: beaters, MaxEvents: maxEvents,
+		Trace: traceRec, StreamVerify: true,
+	})
+	if err != nil {
+		fatalf("verification failed: %v", err)
+	}
+	fmt.Println("heartbeat churn verified ✔ (fault bookkeeping vs schedule truth, heard-sum vs delivered, delivery liveness)")
+	fmt.Printf("  eventually up:    %d/%d (correct in the strict sense: %d)\n", res.EventuallyUp, ids.N(), res.Correct)
+	fmt.Printf("  recoveries:       %d\n", res.Recoveries)
+	fmt.Printf("  events processed: %d (stop: %s)\n", res.Processed, res.Stopped)
+	fmt.Printf("  deliveries/drops: %d/%d\n", res.Stats.Delivered, res.Stats.Dropped)
+	fmt.Printf("  queue high-water: %d entries (lazy fan-out: tracks broadcasts, not n² copies)\n", res.MaxQueue)
+}
+
+func beatersLabel(beaters, n int) string {
+	if beaters <= 0 || beaters >= n {
+		return "all"
+	}
+	return fmt.Sprintf("%d", beaters)
 }
 
 // seedRow is one seed's result in a sweep campaign. It is flat and

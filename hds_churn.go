@@ -89,13 +89,17 @@ func RunChurnOHP(e ChurnOHPExperiment) (ChurnOHPResult, error) {
 	eng.ApplyChurn(schedule)
 	truth := fd.NewGroundTruthFromChurn(e.IDs, schedule)
 
-	trustedProbe := fd.NewProbe(eng, n, func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
+	// Streaming probes: the churn checkers (◇HP̄, HΩ) judge final outputs
+	// and stabilization times only, so O(1) state per process suffices —
+	// probe memory no longer grows with the run. Equivalence with the
+	// materialized Probe pipeline is pinned in internal/fd.
+	trustedProbe := fd.NewStreamProbe(eng, n, func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
 		if eng.Crashed(p) {
 			return nil, false
 		}
 		return dets[p].TrustedView(), true
 	}, func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) })
-	leaderProbe := fd.NewProbe(eng, n, func(p sim.PID) (fd.LeaderInfo, bool) {
+	leaderProbe := fd.NewStreamProbe(eng, n, func(p sim.PID) (fd.LeaderInfo, bool) {
 		if eng.Crashed(p) {
 			return fd.LeaderInfo{}, false
 		}
@@ -149,11 +153,23 @@ type HeartbeatExperiment struct {
 	Seed   int64
 	// Horizon caps virtual time (default 10 periods).
 	Horizon Time
+	// Beaters bounds how many processes beat (the first Beaters PIDs); the
+	// rest only listen. 0 means all n beat. With a fixed beater count the
+	// event volume is Θ(Beaters·n) instead of Θ(n²), so population scaling
+	// sweeps can grow n while every broadcast still fans out to all n live
+	// recipients — n remains the stressed dimension.
+	Beaters int
 	// MaxEvents overrides the engine's runaway guard (0 = engine default).
 	MaxEvents int
 	// Trace, when non-nil, replaces the default stats-only recorder (see
 	// OHPExperiment.Trace).
 	Trace *trace.Recorder
+	// StreamVerify additionally attaches a streaming probe (O(1) state per
+	// process) over the per-process delivery counters and, on complete
+	// runs, verifies delivery liveness: every eventually-up process heard
+	// at least one beat. This is the large-n stand-in for the detector
+	// checkers, which a heartbeat-only workload cannot run.
+	StreamVerify bool
 }
 
 // HeartbeatResult reports one heartbeat-churn run.
@@ -166,6 +182,10 @@ type HeartbeatResult struct {
 	EventuallyUp, Correct int
 	// Recoveries counts executed recover events.
 	Recoveries int
+	// MaxQueue is the engine's event-queue high-water mark — with lazy
+	// fan-out it tracks live broadcasts and timers, not n² message copies,
+	// which is what makes large-n sweeps constant-memory.
+	MaxQueue int
 	// Stats aggregates message costs.
 	Stats Stats
 }
@@ -177,16 +197,22 @@ type beat struct{}
 func (beat) MsgTag() string { return "BEAT" }
 
 // heartbeater broadcasts one beat per period and restarts its chain after
-// recovery (timer epochs keep exactly one chain live).
+// recovery (timer epochs keep exactly one chain live). A listen-only
+// heartbeater (beats=false) never broadcasts or arms timers; it just
+// counts deliveries, which keeps pure listeners off the event queue.
 type heartbeater struct {
 	env    sim.Environment
 	period Time
 	epoch  int
 	heard  int
+	beats  bool
 }
 
 func (h *heartbeater) Init(env sim.Environment) {
 	h.env = env
+	if !h.beats {
+		return
+	}
 	env.Broadcast(beat{})
 	env.SetTimer(h.period, h.epoch)
 }
@@ -202,6 +228,9 @@ func (h *heartbeater) OnTimer(tag int) {
 }
 
 func (h *heartbeater) OnRecover() {
+	if !h.beats {
+		return
+	}
 	h.epoch++
 	h.env.Broadcast(beat{})
 	h.env.SetTimer(h.period, h.epoch)
@@ -214,8 +243,12 @@ var (
 
 // RunHeartbeatChurn executes the heartbeat workload under churn and
 // cross-checks the engine's incremental Correct/EventuallyUp bookkeeping
-// against the schedule-derived ground truth. Like RunChurnOHP it rejects
-// invalid assignments and horizons that truncate the churn schedule.
+// against the schedule-derived ground truth. On every run — truncated or
+// not — the per-process delivery counters must sum to exactly the
+// recorder's Delivered count: one OnMessage per delivery trace, the
+// end-to-end accounting check on the lazy fan-out path. Like RunChurnOHP
+// it rejects invalid assignments and horizons that truncate the churn
+// schedule.
 func RunHeartbeatChurn(e HeartbeatExperiment) (HeartbeatResult, error) {
 	if err := e.IDs.Validate(); err != nil {
 		return HeartbeatResult{}, fmt.Errorf("hds: %w", err)
@@ -227,6 +260,10 @@ func RunHeartbeatChurn(e HeartbeatExperiment) (HeartbeatResult, error) {
 		e.Horizon = 10 * e.Period
 	}
 	n := e.IDs.N()
+	beaters := e.Beaters
+	if beaters <= 0 || beaters > n {
+		beaters = n
+	}
 	schedule := e.Churn.Events(n)
 	if err := validateChurnHorizon(schedule, e.Horizon); err != nil {
 		return HeartbeatResult{}, err
@@ -237,18 +274,47 @@ func RunHeartbeatChurn(e HeartbeatExperiment) (HeartbeatResult, error) {
 	}
 	rec := traceRecorder(e.Trace) // default is stats-only: keeps big n cheap
 	eng := sim.New(sim.Config{IDs: e.IDs, Net: net, Seed: e.Seed, Recorder: rec, MaxEvents: e.MaxEvents})
+	beats := make([]*heartbeater, n)
 	for i := 0; i < n; i++ {
-		eng.AddProcess(&heartbeater{period: e.Period})
+		beats[i] = &heartbeater{period: e.Period, beats: i < beaters}
+		eng.AddProcess(beats[i])
 	}
 	eng.ApplyChurn(schedule)
 	truth := fd.NewGroundTruthFromChurn(e.IDs, schedule)
 
+	var heardProbe *fd.StreamProbe[int]
+	if e.StreamVerify {
+		heardProbe = fd.NewStreamProbe(eng, n, func(p sim.PID) (int, bool) {
+			if eng.Crashed(p) {
+				return 0, false
+			}
+			return beats[p].heard, true
+		}, func(a, b int) bool { return a == b })
+	}
+
 	eng.Run(e.Horizon)
-	if eng.Stopped() != sim.StopMaxEvents {
+	complete := eng.Stopped() != sim.StopMaxEvents
+	if complete {
 		// A truncated run's engine state is still consistent, but the
 		// schedule may not have fully fired; only cross-check complete runs.
 		if err := checkTruthConsistency(eng, truth); err != nil {
 			return HeartbeatResult{}, err
+		}
+	}
+	stats := rec.Stats()
+	heard := 0
+	for _, h := range beats {
+		heard += h.heard
+	}
+	if heard != stats.Delivered {
+		return HeartbeatResult{}, fmt.Errorf(
+			"hds: processes heard %d beats but the recorder delivered %d — fan-out accounting drift", heard, stats.Delivered)
+	}
+	if heardProbe != nil && complete {
+		for _, p := range truth.EventuallyUp() {
+			if got, ok := heardProbe.Last(p); !ok || got == 0 {
+				return HeartbeatResult{}, fmt.Errorf("hds: eventually-up process %d heard no beats", p)
+			}
 		}
 	}
 	return HeartbeatResult{
@@ -257,6 +323,7 @@ func RunHeartbeatChurn(e HeartbeatExperiment) (HeartbeatResult, error) {
 		EventuallyUp: len(truth.EventuallyUp()),
 		Correct:      len(truth.Correct()),
 		Recoveries:   eng.Recoveries(),
+		MaxQueue:     eng.MaxQueueLen(),
 		Stats:        rec.Stats(),
 	}, nil
 }

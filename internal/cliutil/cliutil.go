@@ -36,6 +36,18 @@ func CampaignFlags(fs *flag.FlagSet) func() (campaign.Config, error) {
 	}
 }
 
+// ValidateTraceBuf checks a -trace-buf flag value before it reaches
+// trace.NewSpillRecorder: 0 selects the default spill batch size and
+// positive values are used as given, but a negative value would flow raw
+// into the staging buffer's capacity and panic mid-run — reject it at the
+// flag boundary with a message naming the flag.
+func ValidateTraceBuf(v int) error {
+	if v < 0 {
+		return fmt.Errorf("-trace-buf %d: the spill batch size must be ≥ 0 (0 = default)", v)
+	}
+	return nil
+}
+
 // ParseCrashes parses a crash schedule of the form "pid:time[,pid:time...]"
 // (e.g. "1:30,4:120"). An empty or blank string yields an empty schedule.
 func ParseCrashes(s string) (map[sim.PID]sim.Time, error) {

@@ -2,6 +2,7 @@ package cliutil
 
 import (
 	"flag"
+	"strings"
 	"testing"
 
 	"repro/internal/campaign"
@@ -188,6 +189,27 @@ func TestParseNetRejectsExtraFields(t *testing.T) {
 	for _, bad := range []string{"async:8:9", "asym:5:9", "psync:50:3:7", "timely:1:2"} {
 		if m, err := ParseNet(bad); err == nil {
 			t.Errorf("ParseNet(%q) = %v, want error (extra fields must not be dropped)", bad, m)
+		}
+	}
+}
+
+// TestValidateTraceBuf pins the -trace-buf boundary: 0 (default) and
+// positive sizes pass, negative sizes are rejected with an error naming
+// the flag instead of flowing into the recorder and panicking mid-run.
+func TestValidateTraceBuf(t *testing.T) {
+	for _, ok := range []int{0, 1, 4096, 1 << 20} {
+		if err := ValidateTraceBuf(ok); err != nil {
+			t.Errorf("ValidateTraceBuf(%d) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []int{-1, -4096} {
+		err := ValidateTraceBuf(bad)
+		if err == nil {
+			t.Errorf("ValidateTraceBuf(%d) = nil, want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-trace-buf") {
+			t.Errorf("ValidateTraceBuf(%d) error %q does not name the flag", bad, err)
 		}
 	}
 }

@@ -2,7 +2,9 @@
 // every figure and theorem of the paper (experiment index E1–E13 in
 // DESIGN.md), the ablations E14–E17, and the scenario-space sweeps E18
 // (crash-recovery churn up to n=1000), E19 (heavy-tail delay ablation),
-// and E20 (consensus under churn via the Fig. 8/9 rejoin protocol). The
+// E20 (consensus under churn via the Fig. 8/9 rejoin protocol), and E21
+// (population scaling to n=50,000 on the lazy fan-out + streaming
+// verification pipeline). The
 // paper is a theory paper — its figures are algorithms —
 // so each experiment demonstrates the proved behaviour quantitatively:
 // stabilization times, message costs, decision rounds, and how they scale

@@ -122,6 +122,7 @@ func Registry() []Builder {
 		{"E18", E18ChurnSweep},
 		{"E19", E19HeavyTailDelays},
 		{"E20", E20ChurnConsensus},
+		{"E21", E21PopulationScaling},
 	}
 }
 

@@ -156,3 +156,14 @@ func TestCampaignModesByteIdentical(t *testing.T) {
 func TestE20CampaignModesByteIdentical(t *testing.T) {
 	assertCampaignModesByteIdentical(t, "E20", E20ChurnConsensus)
 }
+
+// TestE21CampaignModesByteIdentical pins serial-vs-parallel byte-identity
+// at population scale: the lazy fan-out fate streams and the streaming
+// verifiers must be exactly as deterministic at n=50,000 as the eager
+// path was at n=50 — same digest whatever the shard/worker layout.
+func TestE21CampaignModesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the population-scaling table four times")
+	}
+	assertCampaignModesByteIdentical(t, "E21", E21PopulationScaling)
+}

@@ -137,6 +137,59 @@ func E20ChurnConsensus() (Table, error) {
 	return t, err
 }
 
+// E21PopulationScaling sweeps the population into the tens of thousands —
+// the scale the lazy fan-out + streaming-verification pipeline exists for.
+// Every row runs the heartbeat workload under churn with a fixed beater
+// pool (event volume Θ(beaters·n), so n is the stressed dimension: every
+// broadcast still fans out to all n live recipients), verifies the
+// engine's incremental Correct/EventuallyUp bookkeeping against the
+// schedule-derived ground truth, the per-process delivery counters
+// against the recorder's Delivered total, and delivery liveness through a
+// streaming probe. The max-queue column is the lazy fan-out witness: the
+// event-queue high-water mark stays proportional to live broadcasts,
+// timers, and churn entries — never to the n² message copies in flight.
+func E21PopulationScaling() (Table, error) {
+	t := Table{
+		ID:     "E21",
+		Title:  "Population scaling: lazy fan-out + streaming verification (n to 50,000)",
+		Paper:  "§1 population-scale premise: detector properties are about populations, not n ≤ 1000",
+		Header: []string{"n", "ℓ", "beaters", "churn", "eventually-up", "recoveries", "delivered", "max queue", "stop"},
+		Notes: []string{
+			"Shape to observe: delivered messages grow linearly in n (fixed beater pool × n recipients) while the queue high-water mark stays in the thousands — bounded by live broadcasts, timers, and the churn schedule, independent of the n² copies the eager path would enqueue. Every row is verified: engine fault bookkeeping against schedule-derived truth, heard-sum against the recorder's delivery count, and per-process delivery liveness via a streaming probe with O(1) state per process.",
+		},
+	}
+	type cfg struct {
+		n, l, beaters int
+		churn         sim.ChurnSpec
+		horizon       hds.Time
+		seed          int64
+	}
+	cfgs := []cfg{
+		{1000, 50, 0 /* all beat: the old ceiling, now dense baseline */, sim.ChurnSpec{Fraction: 0.2, Cycles: 1, Start: 5, Down: 12}, 40, 1},
+		{10_000, 100, 100, sim.ChurnSpec{Fraction: 0.1, Cycles: 1, Start: 5, Down: 12}, 45, 2},
+		{50_000, 200, 100, sim.ChurnSpec{Fraction: 0.05, Cycles: 1, Start: 5, Down: 12}, 45, 3},
+	}
+	err := tableRows(&t, cfgs, func(_ int, c cfg) []string {
+		ids := ident.Balanced(c.n, c.l)
+		beaters := c.beaters
+		if beaters == 0 {
+			beaters = c.n
+		}
+		base := []string{itoaI(c.n), itoaI(c.l), itoaI(beaters), c.churn.String()}
+		res, err := hds.RunHeartbeatChurn(hds.HeartbeatExperiment{
+			IDs: ids, Churn: c.churn, Period: 15, Seed: c.seed, Horizon: c.horizon,
+			Beaters: c.beaters, MaxEvents: 100_000_000, StreamVerify: true,
+		})
+		if err != nil {
+			return append(base, "✗ "+err.Error(), "-", "-", "-", "-")
+		}
+		return append(base,
+			fmt.Sprintf("%d/%d", res.EventuallyUp, c.n), itoaI(res.Recoveries),
+			itoaI(res.Stats.Delivered), itoaI(res.MaxQueue), res.Stopped.String())
+	})
+	return t, err
+}
+
 // E19HeavyTailDelays ablates the delay distribution under the Figure 6
 // detector: the uniform-delay HPS baseline against truncated Pareto and
 // log-normal tails, time-varying partial synchrony, and per-link

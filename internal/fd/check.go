@@ -19,8 +19,9 @@ type Result struct {
 }
 
 // stabilization computes the max last-change time over eventually-up
-// processes (= correct processes in crash-stop).
-func stabilization[T any](g *GroundTruth, pr *Probe[T]) sim.Time {
+// processes (= correct processes in crash-stop). It needs only final
+// views, so it serves the materialized and streaming pipelines alike.
+func stabilization[T any](g *GroundTruth, pr FinalView[T]) sim.Time {
 	var worst sim.Time
 	for _, p := range g.EventuallyUp() {
 		if t := pr.LastChange(p); t > worst {
@@ -36,7 +37,7 @@ func stabilization[T any](g *GroundTruth, pr *Probe[T]) sim.Time {
 // verbatim; under crash-recovery churn the class is restated relative to
 // the eventually-up processes — the only set a heartbeat-driven detector
 // can converge to.
-func CheckDiamondHPbar(g *GroundTruth, pr *Probe[*multiset.Multiset[ident.ID]]) (Result, error) {
+func CheckDiamondHPbar(g *GroundTruth, pr FinalView[*multiset.Multiset[ident.ID]]) (Result, error) {
 	want := g.EventuallyUpIDs()
 	for _, p := range g.EventuallyUp() {
 		got, ok := pr.Last(p)
@@ -54,7 +55,7 @@ func CheckDiamondHPbar(g *GroundTruth, pr *Probe[*multiset.Multiset[ident.ID]]) 
 // output the same pair (ℓ, c) with ℓ ∈ I(EventuallyUp) and
 // c = mult_{I(EventuallyUp)}(ℓ). In crash-stop executions this is the
 // paper's property over the Correct set.
-func CheckHOmega(g *GroundTruth, pr *Probe[LeaderInfo]) (Result, error) {
+func CheckHOmega(g *GroundTruth, pr FinalView[LeaderInfo]) (Result, error) {
 	up := g.EventuallyUp()
 	if len(up) == 0 {
 		return Result{}, nil
@@ -124,7 +125,7 @@ type sampleAt[T any] struct {
 // eventually-up set (= Correct in crash-stop): in every eventually-up
 // process's final alive list, each eventually-up identifier has
 // rank ≤ |EventuallyUp|.
-func CheckAliveList(g *GroundTruth, pr *Probe[[]ident.ID]) (Result, error) {
+func CheckAliveList(g *GroundTruth, pr FinalView[[]ident.ID]) (Result, error) {
 	up := g.EventuallyUp()
 	for _, p := range up {
 		alive, ok := pr.Last(p)
@@ -168,7 +169,7 @@ func CheckAP(g *GroundTruth, pr *Probe[int]) (Result, error) {
 
 // CheckAOmega verifies class AΩ: in the final samples, exactly one correct
 // process's Boolean is true.
-func CheckAOmega(g *GroundTruth, pr *Probe[bool]) (Result, error) {
+func CheckAOmega(g *GroundTruth, pr FinalView[bool]) (Result, error) {
 	leaders := 0
 	for _, p := range g.EventuallyUp() {
 		v, ok := pr.Last(p)
@@ -188,7 +189,7 @@ func CheckAOmega(g *GroundTruth, pr *Probe[bool]) (Result, error) {
 // CheckOmega verifies the classical Ω, restated over the eventually-up set
 // (= Correct in crash-stop): all eventually-up processes' final leader is
 // one common identifier of an eventually-up process.
-func CheckOmega(g *GroundTruth, pr *Probe[ident.ID]) (Result, error) {
+func CheckOmega(g *GroundTruth, pr FinalView[ident.ID]) (Result, error) {
 	up := g.EventuallyUp()
 	if len(up) == 0 {
 		return Result{}, nil

@@ -9,4 +9,13 @@
 // detector instance is the per-process object; algorithms query it through
 // the small interfaces below, and the simulator's observers sample those
 // same interfaces to feed the checkers.
+//
+// Verification runs in two equivalent pipelines. Probe materializes full
+// per-process sample histories; StreamProbe sees the same sample stream
+// but keeps O(1) state per process, pushing changes to online monitors
+// (SigmaMonitor checks Σ safety against an antichain of minimal quorums).
+// Checkers that judge final outputs and stabilization times take the
+// FinalView interface both probes implement, so one checker body serves
+// materialized and streaming runs alike; stream_test.go pins that both
+// pipelines produce identical verdicts over identical executions.
 package fd

@@ -1,0 +1,221 @@
+package fd
+
+// Streaming verification. Probe retains every distinct output a process
+// ever showed, so its memory grows with the execution; at n = 50,000 the
+// histories — not the simulator — become the memory ceiling. StreamProbe
+// keeps only each process's latest output and the time it last changed
+// (O(1) state per process, independent of event count) and pushes each
+// change through registered observers as it happens. Checkers that only
+// need final outputs (◇HP̄, HΩ, 𝔈, Ω, AΩ, and the stabilization time)
+// accept the FinalView interface, which both probes implement — so the
+// same checker code verifies a materialized run and a streaming one.
+// Properties quantified over whole histories (Σ safety) become online
+// monitors: see SigmaMonitor. Equivalence of the two pipelines is pinned
+// by tests running both over identical executions.
+
+import (
+	"fmt"
+
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// FinalView is the read surface shared by Probe (full histories) and
+// StreamProbe (latest sample only): everything a final-state checker
+// needs. Last returns p's latest output (ok=false if p never output);
+// LastChange the time that output last changed; N the process count.
+type FinalView[T any] interface {
+	Last(p sim.PID) (T, bool)
+	LastChange(p sim.PID) sim.Time
+	N() int
+}
+
+var (
+	_ FinalView[int] = (*Probe[int])(nil)
+	_ FinalView[int] = (*StreamProbe[int])(nil)
+)
+
+// StreamProbe samples a detector output exactly as Probe does — the
+// event's process after every event, every process when the clock moves —
+// but retains only the latest value per process. Observers registered
+// with Observe see every change (the same sample stream Probe would have
+// appended), which is how online monitors consume an execution without
+// anyone materializing it.
+type StreamProbe[T any] struct {
+	last       []T
+	seen       []bool
+	lastChange []sim.Time
+	eq         func(a, b T) bool
+	obs        []func(p sim.PID, s Sample[T])
+}
+
+// NewStreamProbe attaches a streaming probe to the engine; get and eq are
+// exactly NewProbe's. Register observers before the run starts.
+func NewStreamProbe[T any](eng *sim.Engine, n int, get func(p sim.PID) (T, bool), eq func(a, b T) bool) *StreamProbe[T] {
+	sp := newStreamProbe[T](n, eq)
+	lastNow := sim.Time(-1)
+	eng.AfterEvent(func(now sim.Time, p sim.PID) {
+		if p >= 0 && now == lastNow {
+			if int(p) < n {
+				sp.sample(now, p, get)
+			}
+			return
+		}
+		lastNow = now
+		for q := 0; q < n; q++ {
+			sp.sample(now, sim.PID(q), get)
+		}
+	})
+	return sp
+}
+
+// NewStaticStreamProbe builds a detached streaming probe fed by hand
+// through Feed — the streaming counterpart of NewStaticProbe, for checker
+// tests and offline replay (e.g. driving monitors from a decoded trace).
+func NewStaticStreamProbe[T any](n int, eq func(a, b T) bool) *StreamProbe[T] {
+	return newStreamProbe[T](n, eq)
+}
+
+func newStreamProbe[T any](n int, eq func(a, b T) bool) *StreamProbe[T] {
+	return &StreamProbe[T]{
+		last:       make([]T, n),
+		seen:       make([]bool, n),
+		lastChange: make([]sim.Time, n),
+		eq:         eq,
+	}
+}
+
+func (sp *StreamProbe[T]) sample(now sim.Time, p sim.PID, get func(p sim.PID) (T, bool)) {
+	v, ok := get(p)
+	if !ok {
+		return
+	}
+	sp.Feed(now, p, v)
+}
+
+// Feed records one observation: a no-op if p's output is unchanged,
+// otherwise the latest sample is replaced and observers run. Live probes
+// feed themselves from engine events; static probes are fed by the caller
+// in sample order.
+func (sp *StreamProbe[T]) Feed(now sim.Time, p sim.PID, v T) {
+	if sp.seen[p] && sp.eq(sp.last[p], v) {
+		return
+	}
+	sp.last[p] = v
+	sp.seen[p] = true
+	sp.lastChange[p] = now
+	for _, f := range sp.obs {
+		f(p, Sample[T]{Time: now, Value: v})
+	}
+}
+
+// Observe registers an observer for every sample a Probe would have
+// stored: p's output changed to s.Value at s.Time. Observers run in
+// registration order, synchronously, inside the engine's event loop.
+func (sp *StreamProbe[T]) Observe(f func(p sim.PID, s Sample[T])) {
+	sp.obs = append(sp.obs, f)
+}
+
+// Last implements FinalView.
+func (sp *StreamProbe[T]) Last(p sim.PID) (T, bool) {
+	if !sp.seen[p] {
+		var zero T
+		return zero, false
+	}
+	return sp.last[p], true
+}
+
+// LastChange implements FinalView.
+func (sp *StreamProbe[T]) LastChange(p sim.PID) sim.Time { return sp.lastChange[p] }
+
+// N implements FinalView.
+func (sp *StreamProbe[T]) N() int { return len(sp.last) }
+
+// SigmaMonitor checks Σ safety online: every pair of quorums sampled
+// anywhere in the execution must intersect. Instead of materializing all
+// samples and testing all pairs (the O(samples²) pass in CheckSigma), it
+// keeps the antichain of minimal quorums seen so far: a new quorum is
+// tested against the antichain only — if Q intersects every kept minimal
+// quorum, it intersects every quorum ever seen, because each seen quorum
+// is a superset of some kept one (supersets are pruned on insertion and
+// never kept). State is therefore bounded by the number of pairwise-
+// incomparable distinct quorums in the run — for converging detectors a
+// handful — not by the event count. The first violation is retained with
+// both offending sample points.
+type SigmaMonitor struct {
+	kept []sigmaSample
+	err  error
+}
+
+type sigmaSample struct {
+	q   *multiset.Multiset[ident.ID]
+	pid sim.PID
+	t   sim.Time
+}
+
+// NewSigmaMonitor returns an empty monitor; attach it to a quorum probe
+// with Attach, or drive it directly through Observe.
+func NewSigmaMonitor() *SigmaMonitor { return &SigmaMonitor{} }
+
+// Attach subscribes the monitor to every quorum sample the probe sees.
+func (m *SigmaMonitor) Attach(sp *StreamProbe[*multiset.Multiset[ident.ID]]) {
+	sp.Observe(m.Observe)
+}
+
+// Observe feeds one quorum sample. The quorum value must not be mutated
+// after the call (probes already require snapshot semantics from get).
+func (m *SigmaMonitor) Observe(p sim.PID, s Sample[*multiset.Multiset[ident.ID]]) {
+	if m.err != nil {
+		return
+	}
+	keep := true
+	w := 0
+	for _, k := range m.kept {
+		if !k.q.Intersects(s.Value) {
+			m.err = fmt.Errorf("Σ safety: quorum %v (p%d@%d) and %v (p%d@%d) are disjoint",
+				k.q, k.pid, k.t, s.Value, p, s.Time)
+			return
+		}
+		if keep && k.q.SubsetOf(s.Value) {
+			// A kept quorum is contained in the new one: anything
+			// intersecting the kept one intersects Q, so Q adds nothing.
+			keep = false
+		}
+		if keep && s.Value.SubsetOf(k.q) {
+			// Q is smaller: the kept superset becomes redundant. Drop it
+			// (Q will stand in for it from now on).
+			continue
+		}
+		m.kept[w] = k
+		w++
+	}
+	m.kept = m.kept[:w]
+	if keep {
+		m.kept = append(m.kept, sigmaSample{q: s.Value, pid: p, t: s.Time})
+	}
+}
+
+// Err returns the first safety violation observed, if any.
+func (m *SigmaMonitor) Err() error { return m.err }
+
+// CheckSigmaStream is CheckSigma's streaming form: safety comes from the
+// monitor that watched the run, liveness and stabilization from the final
+// view. Run both over the same probe: attach the monitor before the run,
+// call this after it.
+func CheckSigmaStream(g *GroundTruth, pr FinalView[*multiset.Multiset[ident.ID]], m *SigmaMonitor) (Result, error) {
+	if err := m.Err(); err != nil {
+		return Result{}, err
+	}
+	want := g.EventuallyUpIDs()
+	for _, p := range g.EventuallyUp() {
+		got, ok := pr.Last(p)
+		if !ok {
+			return Result{}, fmt.Errorf("Σ liveness: eventually-up process %d produced no output", p)
+		}
+		if !got.SubsetOf(want) {
+			return Result{}, fmt.Errorf("Σ liveness: process %d trusts %v ⊄ I(EventuallyUp) = %v", p, got, want)
+		}
+	}
+	return Result{StabilizationTime: stabilization(g, pr)}, nil
+}

@@ -1,0 +1,202 @@
+package fd
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/multiset"
+	"repro/internal/sim"
+)
+
+// gossiper is a toy detector for probe-equivalence tests: it broadcasts
+// its id periodically and outputs the multiset of distinct senders heard
+// so far. Its output changes often and at irregular instants, which is
+// exactly what the sampling equivalence claim needs exercised.
+type gossiper struct {
+	env   sim.Environment
+	heard *multiset.Multiset[ident.ID]
+}
+
+type gossip struct{ From ident.ID }
+
+func (gossip) MsgTag() string { return "GOSSIP" }
+
+func (g *gossiper) Init(env sim.Environment) {
+	g.env = env
+	g.heard = multiset.New[ident.ID]()
+	env.Broadcast(gossip{From: env.ID()})
+	env.SetTimer(4, 0)
+}
+
+func (g *gossiper) OnMessage(payload any) {
+	if m, ok := payload.(gossip); ok && g.heard.Count(m.From) == 0 {
+		g.heard.Add(m.From)
+	}
+}
+
+func (g *gossiper) OnTimer(tag int) {
+	g.env.Broadcast(gossip{From: g.env.ID()})
+	g.env.SetTimer(4, tag)
+}
+
+func (g *gossiper) OnRecover() { g.env.SetTimer(4, 0) }
+
+// TestStreamProbeMatchesProbeLive pins the core streaming-equivalence
+// claim on a live engine: a StreamProbe and a Probe attached to the same
+// run see identical sample streams — the observer feed reproduces the
+// materialized history exactly, and the final views agree — and the
+// final-state checkers produce identical verdicts through either.
+func TestStreamProbeMatchesProbeLive(t *testing.T) {
+	const n = 9
+	eng := sim.New(sim.Config{IDs: ident.Balanced(n, 3), Net: sim.Async{MaxDelay: 6}, Seed: 5})
+	dets := make([]*gossiper, n)
+	for i := range dets {
+		dets[i] = &gossiper{}
+		eng.AddProcess(dets[i])
+	}
+	eng.CrashAt(2, 15)
+	eng.RecoverAt(2, 33)
+	eng.CrashAt(5, 21)
+
+	get := func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
+		if eng.Crashed(p) || dets[p].heard == nil {
+			return nil, false
+		}
+		return dets[p].heard.Clone(), true
+	}
+	eq := func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) }
+
+	probe := NewProbe(eng, n, get, eq)
+	sp := NewStreamProbe(eng, n, get, eq)
+	streamed := make([][]Sample[*multiset.Multiset[ident.ID]], n)
+	sp.Observe(func(p sim.PID, s Sample[*multiset.Multiset[ident.ID]]) {
+		streamed[p] = append(streamed[p], s)
+	})
+
+	eng.Run(60)
+
+	for p := 0; p < n; p++ {
+		h := probe.History(sim.PID(p))
+		if len(h) != len(streamed[p]) {
+			t.Fatalf("p%d: probe stored %d samples, stream observed %d", p, len(h), len(streamed[p]))
+		}
+		for i := range h {
+			if h[i].Time != streamed[p][i].Time || !h[i].Value.Equal(streamed[p][i].Value) {
+				t.Fatalf("p%d sample %d: probe %v@%d, stream %v@%d",
+					p, i, h[i].Value, h[i].Time, streamed[p][i].Value, streamed[p][i].Time)
+			}
+		}
+		pv, pok := probe.Last(sim.PID(p))
+		sv, sok := sp.Last(sim.PID(p))
+		if pok != sok || (pok && !pv.Equal(sv)) {
+			t.Fatalf("p%d: Last diverges: probe (%v,%v), stream (%v,%v)", p, pv, pok, sv, sok)
+		}
+		if probe.LastChange(sim.PID(p)) != sp.LastChange(sim.PID(p)) {
+			t.Fatalf("p%d: LastChange diverges: %d vs %d", p, probe.LastChange(sim.PID(p)), sp.LastChange(sim.PID(p)))
+		}
+	}
+
+	// Identical verdicts through either pipeline, for passing or failing
+	// checks alike. (The toy detector need not satisfy ◇HP̄; what must hold
+	// is agreement.)
+	g := NewGroundTruth(eng.IDs(), map[sim.PID]sim.Time{5: 21})
+	rp, errP := CheckDiamondHPbar(g, probe)
+	rs, errS := CheckDiamondHPbar(g, sp)
+	if fmt.Sprint(rp, errP) != fmt.Sprint(rs, errS) {
+		t.Errorf("◇HP̄ verdicts diverge:\nprobe:  %v %v\nstream: %v %v", rp, errP, rs, errS)
+	}
+}
+
+// feedStream replays static histories through a stream probe in global
+// time order, the order a live run would produce them.
+func feedStream[T any](sp *StreamProbe[T], histories [][]Sample[T]) {
+	idx := make([]int, len(histories))
+	for {
+		best, bp := -1, -1
+		for p, h := range histories {
+			if idx[p] < len(h) {
+				if bp < 0 || h[idx[p]].Time < sim.Time(best) {
+					best, bp = int(h[idx[p]].Time), p
+				}
+			}
+		}
+		if bp < 0 {
+			return
+		}
+		s := histories[bp][idx[bp]]
+		sp.Feed(s.Time, sim.PID(bp), s.Value)
+		idx[bp]++
+	}
+}
+
+// TestCheckSigmaStreamMatchesCheckSigma pins monitor/checker equivalence
+// on the three static cases the materialized checker is tested with: a
+// passing run, a safety violation (disjoint quorums), and a liveness
+// violation (quorum outside I(EventuallyUp)).
+func TestCheckSigmaStreamMatchesCheckSigma(t *testing.T) {
+	g := truth3AAB(1)
+	eq := func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) }
+	cases := []struct {
+		name string
+		h    [][]Sample[*multiset.Multiset[ident.ID]]
+	}{
+		{"good", [][]Sample[*multiset.Multiset[ident.ID]]{
+			hist(ms("A", "A", "B"), ms("A", "B")),
+			nil,
+			hist(ms("A", "B")),
+		}},
+		{"disjoint-quorums", [][]Sample[*multiset.Multiset[ident.ID]]{
+			hist(ms("A")),
+			nil,
+			hist(ms("B")),
+		}},
+		{"liveness", [][]Sample[*multiset.Multiset[ident.ID]]{
+			hist(ms("A", "A", "B")), // ⊄ I(EventuallyUp) = {A, B}
+			nil,
+			hist(ms("A", "B")),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			matRes, matErr := CheckSigma(g, NewStaticProbe(tc.h))
+
+			sp := NewStaticStreamProbe(len(tc.h), eq)
+			m := NewSigmaMonitor()
+			m.Attach(sp)
+			feedStream(sp, tc.h)
+			strRes, strErr := CheckSigmaStream(g, sp, m)
+
+			if (matErr == nil) != (strErr == nil) {
+				t.Fatalf("verdicts diverge: materialized err=%v, streaming err=%v", matErr, strErr)
+			}
+			if matErr == nil && matRes != strRes {
+				t.Fatalf("results diverge: materialized %+v, streaming %+v", matRes, strRes)
+			}
+		})
+	}
+}
+
+// TestSigmaMonitorAntichainBounded pins the monitor's memory claim: a long
+// stream of nested (comparable) quorums keeps the antichain at one entry —
+// state tracks incomparable quorums, not samples.
+func TestSigmaMonitorAntichainBounded(t *testing.T) {
+	m := NewSigmaMonitor()
+	ids := []ident.ID{"A", "B", "C", "D", "E", "F"}
+	// Growing chain: {A}, {A,B}, {A,B,C}, ... then shrinking back.
+	for i := 1; i <= len(ids); i++ {
+		m.Observe(0, Sample[*multiset.Multiset[ident.ID]]{Time: sim.Time(i), Value: ms(ids[:i]...)})
+	}
+	for i := len(ids); i >= 1; i-- {
+		m.Observe(1, Sample[*multiset.Multiset[ident.ID]]{Time: sim.Time(20 + i), Value: ms(ids[:i]...)})
+	}
+	if m.Err() != nil {
+		t.Fatalf("nested quorums flagged: %v", m.Err())
+	}
+	if len(m.kept) != 1 {
+		t.Errorf("antichain holds %d quorums after a nested chain, want 1", len(m.kept))
+	}
+	if !m.kept[0].q.Equal(ms("A")) {
+		t.Errorf("kept quorum %v, want the minimal {A}", m.kept[0].q)
+	}
+}

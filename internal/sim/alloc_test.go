@@ -214,4 +214,25 @@ func TestStatsOnlyMatchesRetainedStats(t *testing.T) {
 	if !bytes.Equal(rendered.Bytes(), spillBuf.Bytes()) {
 		t.Fatal("spilled trace differs from rendered retained trace")
 	}
+
+	// The binary sink must agree end to end: the same run spilled through
+	// BinarySink, decoded, and rendered is byte-identical to the text
+	// spill — engine-driven coverage of the encode/decode/WriteText chain.
+	var binBuf bytes.Buffer
+	binary := trace.NewSpillRecorder(trace.NewBinarySink(&binBuf), 32)
+	run(binary)
+	if err := binary.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.ReadBinary(&binBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fromBin bytes.Buffer
+	if err := trace.WriteText(&fromBin, decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fromBin.Bytes(), spillBuf.Bytes()) {
+		t.Fatal("decoded binary trace differs from text spill of the same run")
+	}
 }

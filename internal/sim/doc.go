@@ -22,13 +22,25 @@
 //
 // Executions are driven by a single seeded event queue, so every run is
 // reproducible and costs (messages, virtual stabilization times) are exact.
+// Per-message delivery fates (loss, partial-crash survival, per-link
+// delay) are drawn from deterministic fate streams keyed by (seed,
+// broadcast, recipient) — pure functions, re-evaluable in any order — so
+// the lazy fan-out below reproduces the eager expansion bit for bit.
 //
 // # Hot-path design
 //
-// The deliver path is built to allocate nothing at steady state:
+// The deliver path is built to allocate nothing at steady state, and a
+// broadcast costs O(1) queue space:
 //
 //   - queue events are 32-byte values in a 4-ary min-heap — no per-event
 //     heap allocation, no pointer chasing;
+//   - fan-out is lazy: a broadcast enqueues one evFanout entry instead of
+//     n delivery copies; the entry delivers one delay-wave at a time
+//     against live membership and re-enqueues itself for the next wave,
+//     preserving the exact (time, seq) pop order the eager path would
+//     produce (Config.EagerFanout retains the eager path as a
+//     differential oracle). The queue high-water mark (MaxQueueLen)
+//     therefore tracks live broadcasts, not n² copies in flight;
 //   - all fan-out copies of one broadcast share a single refcounted slot in
 //     the engine's payload table (freed to a freelist when the last copy
 //     pops), instead of carrying the boxed payload once per copy;

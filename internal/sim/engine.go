@@ -29,6 +29,13 @@ type Config struct {
 	// MaxEvents caps the number of processed events as a runaway guard.
 	// Defaults to 5,000,000.
 	MaxEvents int
+	// EagerFanout restores the pre-lazy broadcast expansion: n evDeliver
+	// events pushed at send time, one per recipient. The queue then grows
+	// with in-flight copies instead of in-flight broadcasts, so it is
+	// unusable at large n; it exists as the differential oracle for the
+	// lazy path (both draw per-copy fates from the same keyed streams, so
+	// runs are byte-identical — see fanout.go) and is exercised by tests.
+	EagerFanout bool
 }
 
 type eventKind int32
@@ -38,6 +45,10 @@ const (
 	evTimer
 	evCrash
 	evRecover
+	// evFanout is the lazy path's per-broadcast entry: arg indexes the
+	// engine's fanout table, and the entry's (time, seq) are those of the
+	// earliest undelivered copy of the broadcast's current wave.
+	evFanout
 )
 
 // event is stored by value in the queue; scheduling one costs no heap
@@ -51,7 +62,7 @@ type event struct {
 	seq  uint64 // tie-break: FIFO among simultaneous events
 	kind eventKind
 	pid  int32
-	arg  int32 // evDeliver: payload-table slot; evTimer: timer tag
+	arg  int32 // evDeliver: payload-table slot; evTimer: timer tag; evFanout: fanout-table index
 }
 
 // before is the total queue order: (time, seq) lexicographically. seq is
@@ -208,6 +219,25 @@ type Engine struct {
 	recoveries   int
 	started      bool
 	stopped      StopReason
+	// Lazy fan-out state (fanout.go). fanSrc/fanRand are the engine's one
+	// reusable per-copy fate stream; fanouts/freeFans the record table and
+	// its freelist; bcasts keys fate streams; perLink/linkNet cache the
+	// Net's LinkModel assertion for the per-copy hot path.
+	fanSrc   fanSource
+	fanRand  *rand.Rand
+	fanouts  []fanoutRec
+	freeFans []int32
+	bcasts   uint64
+	perLink  bool
+	linkNet  LinkModel
+	// done is the active RunUntil predicate, visible to deliverWave so a
+	// wave can stop between copies exactly as the eager path stops between
+	// events.
+	done func() bool
+	// maxQueue is the high-water mark of the event queue, the direct
+	// witness that fan-out is lazy: it tracks in-flight broadcasts, not
+	// in-flight copies.
+	maxQueue int
 	// curSeq is the seq of the event being processed (-1 during start), so
 	// mid-event state changes (partial crashes) order correctly against
 	// scheduled events at the same instant.
@@ -242,7 +272,7 @@ func New(cfg Config) *Engine {
 		cfg.MaxEvents = 5_000_000
 	}
 	n := cfg.IDs.N()
-	return &Engine{
+	e := &Engine{
 		cfg:          cfg,
 		ids:          cfg.IDs,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
@@ -255,6 +285,9 @@ func New(cfg Config) *Engine {
 		partialCrash: make([]*partialCrash, n),
 		curSeq:       -1,
 	}
+	e.fanRand = rand.New(&e.fanSrc)
+	e.linkNet, e.perLink = cfg.Net.(LinkModel)
+	return e
 }
 
 // AddProcess binds the algorithm instance for the next unbound process
@@ -407,6 +440,13 @@ func (e *Engine) AfterEvent(f func(now Time, p PID)) {
 // Processed returns the number of events processed so far.
 func (e *Engine) Processed() int { return e.processed }
 
+// MaxQueueLen returns the event queue's high-water mark (entries, not
+// bytes). Under lazy fan-out it grows with in-flight broadcasts plus
+// timers and schedules — not with in-flight message copies — which is the
+// measurable witness that population size is no longer a memory dimension;
+// the population-scaling experiment reports it per row.
+func (e *Engine) MaxQueueLen() int { return e.maxQueue }
+
 // Stopped reports why the most recent Run/RunUntil call returned. Callers
 // must check for StopMaxEvents before trusting a run's results: the guard
 // silently truncates the execution, and a truncated run is
@@ -424,7 +464,8 @@ func (e *Engine) Run(until Time) int {
 // event; it returns the number of events processed during this call.
 func (e *Engine) RunUntil(until Time, done func() bool) int {
 	e.start()
-	count := 0
+	startProcessed := e.processed
+	e.done = done
 	e.stopped = StopQuiescent
 	for len(e.queue) > 0 {
 		if e.processed >= e.cfg.MaxEvents {
@@ -435,13 +476,12 @@ func (e *Engine) RunUntil(until Time, done func() bool) int {
 			e.stopped = StopHorizon
 			break
 		}
-		e.step()
-		count++
-		if done != nil && done() {
-			e.stopped = StopPredicate
+		if r := e.step(); r != StopNone {
+			e.stopped = r
 			break
 		}
 	}
+	e.done = nil
 	if e.stopped == StopQuiescent {
 		// Quiescence: no event will ever be processed again, so no process
 		// will ever broadcast again — unfired CrashDuringBroadcast arms can
@@ -453,7 +493,7 @@ func (e *Engine) RunUntil(until Time, done func() bool) int {
 			}
 		}
 	}
-	return count
+	return e.processed - startProcessed
 }
 
 // start initializes all processes at time 0 (idempotent).
@@ -474,14 +514,22 @@ func (e *Engine) start() {
 	e.notifyAfter(-1)
 }
 
-// step processes the single earliest event. All trace construction sits
-// behind the nil-recorder check, and all tag/detail formatting additionally
-// behind the retention check: with tracing off the engine formats nothing
-// and computes no tags, and with a stats-only recorder it counts kinds
-// without building strings.
-func (e *Engine) step() {
+// step processes the single earliest queue entry and reports whether the
+// run must stop (StopNone to continue): a wave entry can trip the
+// MaxEvents guard or the RunUntil predicate between its copies, so the
+// stop surfaces from inside the entry rather than from the outer loop.
+// All trace construction sits behind the nil-recorder check, and all
+// tag/detail formatting additionally behind the retention check: with
+// tracing off the engine formats nothing and computes no tags, and with a
+// stats-only recorder it counts kinds without building strings.
+func (e *Engine) step() StopReason {
 	ev := e.pop()
 	e.now = ev.time
+	if ev.kind == evFanout {
+		// Per-copy accounting (processed, curSeq, observers, the done
+		// predicate) happens inside the wave, per delivered copy.
+		return e.deliverWave(ev)
+	}
 	e.curSeq = int64(ev.seq)
 	e.processed++
 	pid := PID(ev.pid)
@@ -550,6 +598,10 @@ func (e *Engine) step() {
 		e.procs[pid].OnTimer(int(ev.arg))
 	}
 	e.notifyAfter(pid)
+	if e.done != nil && e.done() {
+		return StopPredicate
+	}
+	return StopNone
 }
 
 func (e *Engine) notifyAfter(p PID) {
@@ -558,12 +610,21 @@ func (e *Engine) notifyAfter(p PID) {
 	}
 }
 
+// broadcast fans payload out to every process. Each copy's fate (survival
+// of a partial crash, loss, delay) comes from its own keyed stream — see
+// fanout.go — so the lazy default (one queue entry per broadcast, waves
+// resolved at delivery time) and the eager oracle (one entry per copy,
+// Config.EagerFanout) schedule byte-identical executions.
 func (e *Engine) broadcast(from PID, payload any) {
 	if e.crashed[from] {
 		return
 	}
 	pc := e.partialCrash[from]
 	partial := pc != nil && e.now >= pc.after
+	prob := 0.0
+	if partial {
+		prob = pc.deliverProb
+	}
 	var tag string
 	if e.rec != nil {
 		// The tag is computed even for stats-only recorders: the per-tag
@@ -572,46 +633,26 @@ func (e *Engine) broadcast(from PID, payload any) {
 		tag = tagOf(payload)
 		e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindBroadcast, PID: int(from), MsgTag: tag})
 	}
-	lm, perLink := e.cfg.Net.(LinkModel)
-	slot := e.allocSlot(payload)
-	copies := int32(0)
-	for to := range e.procs {
-		if partial && e.rng.Float64() >= pc.deliverProb {
-			if e.rec != nil {
-				if e.retain {
-					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "sender crashed mid-broadcast"})
-				} else {
-					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to})
-				}
-			}
-			continue
+	key := e.nextFanKey()
+	if e.cfg.EagerFanout {
+		e.broadcastEager(key, from, payload, partial, prob, tag)
+	} else {
+		scheduled, minDelay, firstK := e.fanoutScan(key, from, partial, prob, tag)
+		if scheduled > 0 {
+			baseSeq := e.seq
+			e.seq += uint64(scheduled)
+			idx := e.allocFanout(fanoutRec{
+				key:     key,
+				baseSeq: baseSeq,
+				sent:    e.now,
+				slot:    e.allocSlot(payload),
+				from:    int32(from),
+				partial: partial,
+				prob:    prob,
+				delay:   minDelay,
+			})
+			e.requeue(event{time: e.now + minDelay, seq: baseSeq + uint64(firstK), kind: evFanout, pid: int32(from), arg: idx})
 		}
-		var d Time
-		var ok bool
-		if perLink {
-			d, ok = lm.LinkDelay(e.now, from, PID(to), e.rng)
-		} else {
-			d, ok = e.cfg.Net.Delay(e.now, e.rng)
-		}
-		if !ok {
-			if e.rec != nil {
-				if e.retain {
-					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "lost"})
-				} else {
-					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to})
-				}
-			}
-			continue
-		}
-		if d < 1 {
-			d = 1
-		}
-		e.push(event{time: e.now + d, kind: evDeliver, pid: int32(to), arg: slot})
-		copies++
-	}
-	e.payloads[slot].refs = copies
-	if copies == 0 {
-		e.freeSlot(slot)
 	}
 	if partial {
 		e.partialCrash[from] = nil
@@ -627,6 +668,44 @@ func (e *Engine) broadcast(from PID, payload any) {
 		if e.rec != nil {
 			e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindCrash, PID: int(from), Detail: "mid-broadcast"})
 		}
+	}
+}
+
+// broadcastEager materializes every copy at send time (Config.EagerFanout):
+// the pre-lazy expansion, kept as the lazy path's differential oracle. It
+// draws fates from the same keyed streams, records the same drop traces in
+// the same recipient order, and pushes scheduled copies in that order, so
+// copy k receives exactly the seq the lazy path reserves for it.
+func (e *Engine) broadcastEager(key uint64, from PID, payload any, partial bool, prob float64, tag string) {
+	slot := e.allocSlot(payload)
+	copies := int32(0)
+	for to := range e.procs {
+		d, st := e.copyFate(key, e.now, int32(from), partial, prob, to)
+		switch st {
+		case fatePartialDrop:
+			if e.rec != nil {
+				if e.retain {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "sender crashed mid-broadcast"})
+				} else {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to})
+				}
+			}
+		case fateLost:
+			if e.rec != nil {
+				if e.retain {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to, MsgTag: tag, Detail: "lost"})
+				} else {
+					e.rec.Record(trace.Event{Time: e.now, Kind: trace.KindDrop, PID: to})
+				}
+			}
+		case fateDeliver:
+			e.push(event{time: e.now + d, kind: evDeliver, pid: int32(to), arg: slot})
+			copies++
+		}
+	}
+	e.payloads[slot].refs = copies
+	if copies == 0 {
+		e.freeSlot(slot)
 	}
 }
 
@@ -649,8 +728,26 @@ func (e *Engine) push(ev event) {
 	}
 	ev.seq = e.seq
 	e.seq++
+	e.enqueue(ev)
+}
+
+// requeue enqueues an event that already carries its seq — a fanout wave
+// entry keyed by the seq reserved for its earliest undelivered copy. The
+// seq counter is untouched: wave entries reuse seqs from their broadcast's
+// reserved interval, never mint new ones.
+func (e *Engine) requeue(ev event) {
+	if ev.time < e.now {
+		ev.time = e.now
+	}
+	e.enqueue(ev)
+}
+
+func (e *Engine) enqueue(ev event) {
 	e.queue = append(e.queue, ev)
 	e.queue.up(len(e.queue) - 1)
+	if len(e.queue) > e.maxQueue {
+		e.maxQueue = len(e.queue)
+	}
 }
 
 func (e *Engine) pop() event {

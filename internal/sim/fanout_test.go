@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/ident"
+	"repro/internal/trace"
+)
+
+// fanPoll broadcasts every `period` units forever and re-arms after a
+// recovery, so churn schedules keep traffic flowing.
+type fanPoll struct {
+	env    Environment
+	period Time
+}
+
+func (p *fanPoll) Init(env Environment) {
+	p.env = env
+	env.Broadcast(hello{From: env.ID()})
+	env.SetTimer(p.period, 0)
+}
+func (p *fanPoll) OnMessage(any) {}
+func (p *fanPoll) OnTimer(tag int) {
+	p.env.Broadcast(hello{From: p.env.ID()})
+	p.env.SetTimer(p.period, tag)
+}
+func (p *fanPoll) OnRecover() { p.env.SetTimer(p.period, 0) }
+
+// buildFanEngine assembles one churn-heavy engine: n pollsters, a crash
+// with recovery, a crash-stop, and a partial (mid-broadcast) crash, over
+// the given network model.
+func buildFanEngine(n int, net Model, seed int64, eager bool, maxEvents int) (*Engine, *trace.Recorder) {
+	rec := trace.NewRecorder()
+	eng := New(Config{
+		IDs:         ident.Balanced(n, 2),
+		Net:         net,
+		Seed:        seed,
+		Recorder:    rec,
+		EagerFanout: eager,
+		MaxEvents:   maxEvents,
+	})
+	for i := 0; i < n; i++ {
+		eng.AddProcess(&fanPoll{period: 5})
+	}
+	eng.CrashAt(1, 12)
+	eng.RecoverAt(1, 31)
+	eng.CrashAt(2, 40)
+	eng.CrashDuringBroadcast(3, 20, 0.5)
+	return eng, rec
+}
+
+// runPair runs the same scenario through the lazy path and the eager
+// oracle and returns both (engine, recorder) pairs after identical Run
+// calls driven by the caller.
+func runPair(t *testing.T, n int, net Model, seed int64, maxEvents int, drive func(e *Engine)) (lazy, eager *Engine, lazyRec, eagerRec *trace.Recorder) {
+	t.Helper()
+	lazy, lazyRec = buildFanEngine(n, net, seed, false, maxEvents)
+	eager, eagerRec = buildFanEngine(n, net, seed, true, maxEvents)
+	drive(lazy)
+	drive(eager)
+	return lazy, eager, lazyRec, eagerRec
+}
+
+// requireIdentical asserts the two runs are byte-identical in trace and
+// equal in every observable the engine exposes.
+func requireIdentical(t *testing.T, lazy, eager *Engine, lazyRec, eagerRec *trace.Recorder) {
+	t.Helper()
+	var lb, eb bytes.Buffer
+	if err := trace.WriteText(&lb, lazyRec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteText(&eb, eagerRec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb.Bytes(), eb.Bytes()) {
+		ll, el := lb.Bytes(), eb.Bytes()
+		i := 0
+		for i < len(ll) && i < len(el) && ll[i] == el[i] {
+			i++
+		}
+		lo := i - 120
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("lazy and eager traces diverge at byte %d:\nlazy:  ...%q\neager: ...%q",
+			i, string(ll[lo:min(i+120, len(ll))]), string(el[lo:min(i+120, len(el))]))
+	}
+	if ls, es := fmt.Sprintf("%+v", lazyRec.Stats()), fmt.Sprintf("%+v", eagerRec.Stats()); ls != es {
+		t.Errorf("stats diverge:\nlazy:  %s\neager: %s", ls, es)
+	}
+	if lazy.Processed() != eager.Processed() {
+		t.Errorf("processed: lazy %d, eager %d", lazy.Processed(), eager.Processed())
+	}
+	if lazy.Stopped() != eager.Stopped() {
+		t.Errorf("stopped: lazy %v, eager %v", lazy.Stopped(), eager.Stopped())
+	}
+	if lazy.Now() != eager.Now() {
+		t.Errorf("now: lazy %d, eager %d", lazy.Now(), eager.Now())
+	}
+	if l, e := fmt.Sprint(lazy.CorrectSet()), fmt.Sprint(eager.CorrectSet()); l != e {
+		t.Errorf("correct set: lazy %s, eager %s", l, e)
+	}
+	if l, e := fmt.Sprint(lazy.EventuallyUpSet()), fmt.Sprint(eager.EventuallyUpSet()); l != e {
+		t.Errorf("eventually-up set: lazy %s, eager %s", l, e)
+	}
+}
+
+// TestLazyFanoutMatchesEager is the lazy path's differential oracle: over
+// every network model family — uniform, partially synchronous with loss,
+// deterministic, heavy-tailed, oscillating, per-link asymmetric — a
+// churn-heavy run under lazy fan-out must be byte-identical in trace (and
+// equal in all engine observables) to the same run under eager expansion.
+func TestLazyFanoutMatchesEager(t *testing.T) {
+	nets := []Model{
+		Async{MaxDelay: 8},
+		PartialSync{GST: 30, Delta: 4, PreLoss: 0.3, PreMax: 12},
+		Timely{Delta: 3},
+		Pareto{Scale: 1, Alpha: 1.2, Cap: 40},
+		LogNormal{Median: 3, Sigma: 1, Cap: 40},
+		Alternating{Period: 15, GoodDelta: 3, BadMax: 20, BadLoss: 0.25, CalmAfter: 45},
+		AsymmetricLinks{Base: Async{MaxDelay: 5}, MaxSkew: 6},
+	}
+	for _, net := range nets {
+		net := net
+		t.Run(net.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				lazy, eager, lr, er := runPair(t, 23, net, seed, 0, func(e *Engine) { e.Run(60) })
+				requireIdentical(t, lazy, eager, lr, er)
+			}
+		})
+	}
+}
+
+// TestLazyFanoutMaxEventsMidWave pins truncation parity: with a MaxEvents
+// cap chosen to trip in the middle of a delivery wave, the lazy run must
+// cut at exactly the same event as the eager run and leave identical
+// traces, and resuming the run must not deliver anything further.
+func TestLazyFanoutMaxEventsMidWave(t *testing.T) {
+	// Timely puts a whole broadcast in one wave of 23 copies, so caps that
+	// are not multiples of 23 stop mid-wave.
+	for _, cap := range []int{10, 57, 100, 149} {
+		lazy, eager, lr, er := runPair(t, 23, Timely{Delta: 3}, 7, cap, func(e *Engine) { e.Run(60) })
+		if lazy.Stopped() != StopMaxEvents {
+			t.Fatalf("cap %d: lazy stopped %v, want max-events", cap, lazy.Stopped())
+		}
+		if lazy.Processed() != cap {
+			t.Fatalf("cap %d: lazy processed %d", cap, lazy.Processed())
+		}
+		requireIdentical(t, lazy, eager, lr, er)
+	}
+}
+
+// TestLazyFanoutPredicateMidWave pins early-exit parity: a predicate that
+// stops the run after every single event forces a resume into the middle
+// of each wave, and the single-stepped execution must remain byte-identical
+// to the eager one driven the same way.
+func TestLazyFanoutPredicateMidWave(t *testing.T) {
+	stepAll := func(e *Engine) {
+		always := func() bool { return true }
+		for {
+			if e.RunUntil(45, always) == 0 && (e.Stopped() == StopQuiescent || e.Stopped() == StopHorizon) {
+				return
+			}
+			if e.Stopped() == StopQuiescent || e.Stopped() == StopHorizon {
+				return
+			}
+		}
+	}
+	lazy, eager, lr, er := runPair(t, 17, Async{MaxDelay: 6}, 11, 0, stepAll)
+	requireIdentical(t, lazy, eager, lr, er)
+}
+
+// TestLazyFanoutConstantQueue pins the tentpole's O(1) claim: after one
+// broadcast at n=1000 the queue holds one wave entry — not n deliveries —
+// and a full churn run's queue high-water mark stays far below the
+// in-flight copy count the eager path would enqueue.
+func TestLazyFanoutConstantQueue(t *testing.T) {
+	const n = 1000
+	rec := trace.NewRecorder()
+	eng := New(Config{IDs: ident.Balanced(n, 2), Net: Async{MaxDelay: 8}, Seed: 1, Recorder: rec})
+	for i := 0; i < n; i++ {
+		eng.AddProcess(&quietBroadcaster{bcast: i == 0})
+	}
+	eng.start()
+	if got := len(eng.queue); got != 1 {
+		t.Fatalf("queue holds %d entries after one broadcast at n=%d, want 1 (one wave entry per broadcast)", got, n)
+	}
+	eng.Run(100)
+	if st := rec.Stats(); st.Delivered != n {
+		t.Fatalf("delivered %d, want %d", st.Delivered, n)
+	}
+	if hw := eng.MaxQueueLen(); hw > 4 {
+		t.Errorf("queue high-water mark %d for a single broadcast, want <= 4", hw)
+	}
+
+	// The same at full churn load: every process polls, so the eager queue
+	// would hold ~n in-flight copies per in-flight broadcast. The lazy
+	// high-water mark must stay O(broadcasts + timers), i.e. a few entries
+	// per process, independent of fan-out.
+	eng2, _ := buildFanEngine(200, Async{MaxDelay: 8}, 3, false, 0)
+	eng2.Run(40)
+	if hw := eng2.MaxQueueLen(); hw > 4*200 {
+		t.Errorf("churn-run queue high-water mark %d at n=200, want O(n) entries (<= 800), not O(n * in-flight copies)", hw)
+	}
+}
+
+type quietBroadcaster struct{ bcast bool }
+
+func (q *quietBroadcaster) Init(env Environment) {
+	if q.bcast {
+		env.Broadcast(hello{From: env.ID()})
+	}
+}
+func (q *quietBroadcaster) OnMessage(any) {}
+func (q *quietBroadcaster) OnTimer(int)   {}

@@ -1,0 +1,241 @@
+package trace
+
+// Compact binary trace format. Text rendering dominates spill cost (every
+// event is a fmt.Sprintf), and text traces at large n dominate disk: the
+// binary sink writes roughly an order of magnitude less and formats
+// nothing. The encoding is self-describing and streaming-decodable:
+//
+//	header:  8-byte magic "HDTRACE\x01" (the trailing byte is the format
+//	         version), then no global tables — strings are interned inline.
+//	event:   kind     uvarint
+//	         Δtime    signed varint (zigzag), delta vs the previous
+//	                  event's time (first event: delta vs 0)
+//	         pid      uvarint
+//	         tag      string ref
+//	         detail   string ref
+//	string ref: uvarint r. r == 0 is the empty string; r <= len(table) is
+//	         table entry r-1; r == len(table)+1 introduces a new string —
+//	         a uvarint byte length and the bytes follow, and the string is
+//	         appended to the table. Any larger r is a corruption error.
+//
+// Both sides build the identical table in stream order, so references
+// never need transmitting ahead of use and decoding needs one pass.
+// Deltas are signed because recording order is engine pop order, which is
+// monotone in time only within one engine; merged or hand-built traces
+// may step backwards.
+//
+// The decoder reproduces Event values exactly, so rendering a decoded
+// trace with WriteText is byte-identical to what WriterSink would have
+// written for the same run.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// binaryMagic identifies a binary trace stream; the last byte is the
+// format version.
+var binaryMagic = [8]byte{'H', 'D', 'T', 'R', 'A', 'C', 'E', 1}
+
+// maxBinaryString caps one interned string's byte length — far beyond any
+// tag or detail the engine emits — so a corrupt length prefix fails fast
+// instead of driving a giant allocation.
+const maxBinaryString = 1 << 20
+
+// ErrBinaryTrace tags all binary-trace format errors; decode failures wrap
+// it, so errors.Is(err, ErrBinaryTrace) distinguishes corruption from I/O.
+var ErrBinaryTrace = errors.New("trace: binary format error")
+
+// BinarySink streams spilled batches in the binary format. Create with
+// NewBinarySink, attach via NewSpillRecorder or Recorder.SetSink, and call
+// Recorder.Flush after the run (BinarySink buffers). Decode the result
+// with BinaryReader or ReadBinary.
+type BinarySink struct {
+	w       *bufio.Writer
+	wrote   bool
+	strs    map[string]uint64
+	lastT   int64
+	scratch [2 * binary.MaxVarintLen64]byte
+}
+
+// NewBinarySink wraps w. The header is written lazily with the first
+// spill, so constructing a sink on a file never touched by the run leaves
+// it empty rather than header-only.
+func NewBinarySink(w io.Writer) *BinarySink {
+	return &BinarySink{w: bufio.NewWriterSize(w, 1<<16), strs: make(map[string]uint64)}
+}
+
+// Spill implements Sink.
+func (s *BinarySink) Spill(batch []Event) error {
+	if !s.wrote {
+		s.wrote = true
+		if _, err := s.w.Write(binaryMagic[:]); err != nil {
+			return err
+		}
+	}
+	for _, e := range batch {
+		n := binary.PutUvarint(s.scratch[:], uint64(e.Kind))
+		n += binary.PutVarint(s.scratch[n:], e.Time-s.lastT)
+		s.lastT = e.Time
+		if _, err := s.w.Write(s.scratch[:n]); err != nil {
+			return err
+		}
+		n = binary.PutUvarint(s.scratch[:], uint64(e.PID))
+		if _, err := s.w.Write(s.scratch[:n]); err != nil {
+			return err
+		}
+		if err := s.putString(e.MsgTag); err != nil {
+			return err
+		}
+		if err := s.putString(e.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *BinarySink) putString(v string) error {
+	if v == "" {
+		return s.w.WriteByte(0)
+	}
+	if ref, ok := s.strs[v]; ok {
+		n := binary.PutUvarint(s.scratch[:], ref)
+		_, err := s.w.Write(s.scratch[:n])
+		return err
+	}
+	ref := uint64(len(s.strs)) + 1
+	s.strs[v] = ref
+	n := binary.PutUvarint(s.scratch[:], ref)
+	n += binary.PutUvarint(s.scratch[n:], uint64(len(v)))
+	if _, err := s.w.Write(s.scratch[:n]); err != nil {
+		return err
+	}
+	_, err := s.w.WriteString(v)
+	return err
+}
+
+// Flush implements Flusher.
+func (s *BinarySink) Flush() error { return s.w.Flush() }
+
+// BinaryReader decodes a binary trace stream event by event, holding only
+// the string table — a trace of any length decodes in memory proportional
+// to its distinct tags/details, not its events.
+type BinaryReader struct {
+	r     *bufio.Reader
+	strs  []string
+	lastT int64
+}
+
+// NewBinaryReader validates the stream header and returns a reader
+// positioned at the first event.
+func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("%w: stream shorter than header", ErrBinaryTrace)
+		}
+		return nil, err
+	}
+	if magic != binaryMagic {
+		if bytes.Equal(magic[:7], binaryMagic[:7]) {
+			return nil, fmt.Errorf("%w: unsupported version %d", ErrBinaryTrace, magic[7])
+		}
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBinaryTrace, magic[:])
+	}
+	return &BinaryReader{r: br}, nil
+}
+
+// Next returns the next event. It returns io.EOF at a clean end of stream;
+// a stream truncated mid-event returns an error wrapping ErrBinaryTrace.
+func (d *BinaryReader) Next() (Event, error) {
+	kind, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF // clean boundary: stream ends between events
+		}
+		return Event{}, d.corrupt("event kind", err)
+	}
+	dt, err := binary.ReadVarint(d.r)
+	if err != nil {
+		return Event{}, d.corrupt("time delta", err)
+	}
+	d.lastT += dt
+	pid, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return Event{}, d.corrupt("pid", err)
+	}
+	tag, err := d.getString()
+	if err != nil {
+		return Event{}, d.corrupt("tag", err)
+	}
+	detail, err := d.getString()
+	if err != nil {
+		return Event{}, d.corrupt("detail", err)
+	}
+	return Event{Time: d.lastT, Kind: Kind(kind), PID: int(pid), MsgTag: tag, Detail: detail}, nil
+}
+
+func (d *BinaryReader) getString() (string, error) {
+	ref, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case ref == 0:
+		return "", nil
+	case ref <= uint64(len(d.strs)):
+		return d.strs[ref-1], nil
+	case ref == uint64(len(d.strs))+1:
+		size, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return "", err
+		}
+		if size > maxBinaryString {
+			return "", fmt.Errorf("string length %d exceeds limit", size)
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(d.r, buf); err != nil {
+			return "", err
+		}
+		s := string(buf)
+		d.strs = append(d.strs, s)
+		return s, nil
+	default:
+		return "", fmt.Errorf("string ref %d beyond table size %d", ref, len(d.strs))
+	}
+}
+
+func (d *BinaryReader) corrupt(field string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: stream truncated reading %s", ErrBinaryTrace, field)
+	}
+	if errors.Is(err, ErrBinaryTrace) {
+		return err
+	}
+	return fmt.Errorf("%w: %s: %v", ErrBinaryTrace, field, err)
+}
+
+// ReadBinary decodes a whole binary trace into memory. Large traces should
+// stream through BinaryReader.Next instead.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	d, err := NewBinaryReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Event
+	for {
+		e, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}

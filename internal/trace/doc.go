@@ -21,7 +21,11 @@
 //     records in constant memory. WriterSink streams the canonical text
 //     rendering (one Event.String per line) to an io.Writer; a spilled
 //     trace file is byte-identical to WriteText over the same run's
-//     in-memory events.
+//     in-memory events. BinarySink streams the compact binary format
+//     instead (varint fields, delta-coded times, inline string interning;
+//     see binary.go) — about an order of magnitude smaller and free of
+//     per-event formatting; BinaryReader/ReadBinary decode it back to the
+//     exact Event values, so its text rendering is byte-identical too.
 //
 // The zero value is a ready, concurrency-safe, stats-only recorder; a nil
 // *Recorder is safe to record into and reports empty results.
