@@ -1,0 +1,20 @@
+// Command detlint runs the determinism-contract analyzers
+// (repro/internal/analysis) over the tree and fails on any unsuppressed
+// diagnostic — the static counterpart to the serial-vs-parallel equality
+// tests, wired into CI next to gofmt and go vet.
+//
+// Usage:
+//
+//	go run ./cmd/detlint ./...          # lint; exit 1 on findings
+//	go run ./cmd/detlint -ignores ./... # list justified suppressions
+//	go run ./cmd/detlint -analyzers     # describe the suite
+//
+// A finding is either fixed or suppressed in place with
+//
+//	//detlint:ignore <analyzer> <reason>
+//
+// on (or directly above) the offending line. Missing or empty reasons
+// are themselves diagnostics: the suppression inventory (-ignores) is
+// the audit trail of every standing exception to the determinism
+// contracts in ARCHITECTURE.md.
+package main

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	ignores := flag.Bool("ignores", false, "list every //detlint:ignore suppression (file:line analyzer reason) instead of diagnostics")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	module, root, err := findModule()
+	if err != nil {
+		fail(err)
+	}
+	dirs, err := expand(root, patterns)
+	if err != nil {
+		fail(err)
+	}
+
+	loader := analysis.NewLoader(module, root, "")
+	var (
+		diags   []analysis.Diagnostic
+		sups    []analysis.Suppression
+		badSups []error
+	)
+	for _, dir := range dirs {
+		pkgPath := module
+		if rel, _ := filepath.Rel(root, dir); rel != "." {
+			pkgPath = module + "/" + filepath.ToSlash(rel)
+		}
+		units, err := loader.LoadDir(pkgPath, dir)
+		if err != nil {
+			fail(err)
+		}
+		for _, unit := range units {
+			d, s, errs := analysis.RunUnit(loader, unit, analysis.All())
+			diags = append(diags, d...)
+			sups = append(sups, s...)
+			badSups = append(badSups, errs...)
+		}
+	}
+
+	if *ignores {
+		sort.Slice(sups, func(i, j int) bool {
+			a, b := sups[i], sups[j]
+			if a.Pos.Filename != b.Pos.Filename {
+				return a.Pos.Filename < b.Pos.Filename
+			}
+			return a.Pos.Line < b.Pos.Line
+		})
+		for _, s := range sups {
+			rel := s.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil {
+				rel = r
+			}
+			fmt.Printf("%s:%d: %s: %s\n", rel, s.Pos.Line, s.Analyzer, s.Reason)
+		}
+	}
+
+	exit := 0
+	for _, err := range badSups {
+		fmt.Fprintln(os.Stderr, err)
+		exit = 1
+	}
+	if !*ignores {
+		analysis.SortDiagnostics(diags)
+		for _, d := range diags {
+			rel := d
+			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: detlint [-ignores] [-analyzers] [packages]
+
+detlint statically enforces this repo's determinism contracts
+(ARCHITECTURE.md) over the given package patterns (default ./...).
+Suppress a finding with an adjacent "//detlint:ignore <analyzer>
+<reason>" comment; the reason is mandatory.
+
+Flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "detlint:", err)
+	os.Exit(2)
+}
+
+// findModule walks up from the working directory to go.mod and reads the
+// module path.
+func findModule() (module, root string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if f, err := os.Open(gomod); err == nil {
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if name, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(name), dir, nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module line", gomod)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand resolves package patterns to directories. "dir/..." walks
+// recursively; anything else names a single directory. testdata, hidden
+// directories, and nested modules are skipped, matching the go tool.
+func expand(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		if pat == "." {
+			base = root
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if path != base {
+				if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+					return filepath.SkipDir
+				}
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}

@@ -54,6 +54,12 @@ func main() {
 	if err := cliutil.ValidateTraceBuf(*traceBuf); err != nil {
 		log.Fatal(err)
 	}
+	if err := cliutil.ValidateTraceFormat(*traceFormat, *tracePath); err != nil {
+		log.Fatal(err)
+	}
+	if err := cliutil.ValidateBeaters(*beaters, *n); err != nil {
+		log.Fatal(err)
+	}
 	if *tracePath != "" {
 		if *seeds > 1 {
 			log.Fatal("-trace applies to single runs: seed sweeps would interleave unrelated traces")

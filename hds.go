@@ -35,6 +35,7 @@ package hds
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 
 	"repro/internal/check"
 	"repro/internal/core"
@@ -199,9 +200,7 @@ func RunFig8(e Fig8Experiment) (Report, Stats, error) {
 		node.Add("consensus", insts[i])
 		eng.AddProcess(node)
 	}
-	for p, at := range e.Crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(e.Crashes)
 	eng.RunUntil(e.Horizon, func() bool { return allDecidedFig8(truth, insts) })
 	if err := guardErr(eng); err != nil {
 		return Report{}, rec.Stats(), err
@@ -274,9 +273,7 @@ func RunFig9(e Fig9Experiment) (Report, Stats, error) {
 		node.Add("consensus", insts[i])
 		eng.AddProcess(node)
 	}
-	for p, at := range e.Crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(e.Crashes)
 	eng.RunUntil(e.Horizon, func() bool { return allDecidedFig9(truth, insts) })
 	if err := guardErr(eng); err != nil {
 		return Report{}, rec.Stats(), err
@@ -337,11 +334,18 @@ func validateExperiment(ids Assignment, crashes map[PID]Time, proposals []Value)
 		return fmt.Errorf("hds: %w", err)
 	}
 	n := ids.N()
-	for p, at := range crashes {
+	// Validate in ascending PID order: with several malformed entries, the
+	// one named in the error must not depend on map iteration order.
+	pids := make([]PID, 0, len(crashes))
+	for p := range crashes {
+		pids = append(pids, p)
+	}
+	slices.Sort(pids)
+	for _, p := range pids {
 		if int(p) < 0 || int(p) >= n {
 			return fmt.Errorf("hds: crash schedule names process %d outside [0,%d)", p, n)
 		}
-		if at < 0 {
+		if at := crashes[p]; at < 0 {
 			return fmt.Errorf("hds: crash time %d for process %d is negative", at, p)
 		}
 	}

@@ -2,6 +2,7 @@ package hds
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/check"
@@ -299,8 +300,16 @@ func churnFaultPattern(ids Assignment, churn ChurnSpec, crashes map[PID]Time, ho
 			sort.Ints(overlap)
 			return nil, nil, fmt.Errorf("hds: process(es) %v appear in both the churn schedule and the Crashes map — use one crash mechanism per process (the engine would interleave both into a schedule nobody asked for)", overlap)
 		}
-		for p, at := range crashes {
-			schedule = append(schedule, ChurnEvent{P: p, At: at})
+		// Append in ascending PID order: the combined schedule is applied
+		// to the engine in slice order, and same-time events are
+		// tie-broken by registration sequence — map order must not leak.
+		pids := make([]PID, 0, len(crashes))
+		for p := range crashes {
+			pids = append(pids, p)
+		}
+		slices.Sort(pids)
+		for _, p := range pids {
+			schedule = append(schedule, ChurnEvent{P: p, At: crashes[p]})
 		}
 	}
 	// Validate the horizon against the *combined* schedule: a permanent

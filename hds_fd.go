@@ -1,6 +1,8 @@
 package hds
 
 import (
+	"slices"
+
 	"repro/internal/fd"
 	"repro/internal/fd/hsigma"
 	"repro/internal/fd/ohp"
@@ -75,9 +77,7 @@ func RunOHP(e OHPExperiment) (OHPResult, error) {
 		dets[i] = ohp.New()
 		eng.AddProcess(dets[i])
 	}
-	for p, at := range e.Crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(e.Crashes)
 	truth := fd.NewGroundTruth(e.IDs, e.Crashes)
 	// The trusted probe samples the detector's live view: no clone on the
 	// per-event path (OnTimer replaces h_trusted wholesale, so stored views
@@ -162,8 +162,17 @@ func RunHSigma(e HSigmaExperiment) (HSigmaResult, error) {
 		dets[i] = hsigma.New()
 		eng.AddProcess(dets[i])
 	}
+	// Register in ascending PID order: CrashAtStep appends to the step's
+	// crash list, and the sync engine replays that list, so map iteration
+	// order would otherwise reach the trace.
+	crashPids := make([]sim.PID, 0, len(e.CrashSteps))
+	for p := range e.CrashSteps {
+		crashPids = append(crashPids, p)
+	}
+	slices.Sort(crashPids)
 	crashTimes := make(map[sim.PID]sim.Time, len(e.CrashSteps))
-	for p, cs := range e.CrashSteps {
+	for _, p := range crashPids {
+		cs := e.CrashSteps[p]
 		eng.CrashAtStep(p, cs.Step, cs.DeliverProb)
 		crashTimes[p] = sim.Time(cs.Step)
 	}

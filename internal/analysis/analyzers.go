@@ -1,0 +1,48 @@
+package analysis
+
+// All returns the detlint suite in reporting order. Each analyzer
+// enforces one determinism contract from ARCHITECTURE.md; the mapping is
+// documented in the "Enforcement" entries of that file's per-layer
+// contract sections.
+func All() []*Analyzer {
+	return []*Analyzer{Maprange, Wallclock, Globalrand, Unsortedgo, Ptrformat}
+}
+
+// Known returns the analyzer-name set, used to validate
+// //detlint:ignore comments.
+func Known() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// RunUnit executes the given analyzers over one loaded unit and returns
+// the unsuppressed diagnostics plus the suppressions that were applied.
+// Malformed suppression comments are returned as errors.
+func RunUnit(loader *Loader, unit *Unit, analyzers []*Analyzer) ([]Diagnostic, []Suppression, []error) {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     loader.Fset,
+			Files:    unit.Files,
+			Pkg:      unit.Pkg,
+			Info:     unit.Info,
+			PkgPath:  unit.PkgPath,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, nil, []error{err}
+		}
+	}
+	sups, errs := CollectSuppressions(loader.Fset, unit.Files, known)
+	diags = FilterSuppressed(diags, sups)
+	SortDiagnostics(diags)
+	return diags, sups, errs
+}

@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atest"
+)
+
+func TestMaprange(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.Maprange, "maprange/sim", "maprange/cliutil")
+}
+
+func TestWallclock(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.Wallclock, "wallclock/sim")
+}
+
+func TestGlobalrand(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.Globalrand, "globalrand/sim")
+}
+
+func TestUnsortedgo(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.Unsortedgo, "unsortedgo/sim", "unsortedgo/sweep")
+}
+
+func TestPtrformat(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.Ptrformat, "ptrformat/sim")
+}
+
+func TestIsDeterministic(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro", true}, // the hds runner layer feeds engine seq order
+		{"repro/internal/sim", true},
+		{"repro/internal/fd/ohp", true}, // subpackages inherit fd's contract
+		{"repro/internal/trace", true},
+		{"repro/internal/multiset", true},
+		{"repro/internal/cliutil", false},
+		{"repro/internal/ident", false},
+		{"repro/internal/hruntime", false},
+		{"repro/cmd/experiments", false}, // CLI drivers are not contract-bound
+		{"repro/cmd/trace", false},       // "trace" right after "cmd" is a driver
+		{"repro/internal/analysis", false},
+	}
+	for _, c := range cases {
+		if got := analysis.IsDeterministic(c.path); got != c.want {
+			t.Errorf("IsDeterministic(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package atest is an analysistest-style harness for the detlint
+// analyzers: it loads GOPATH-layout fixture packages from a testdata
+// directory, runs an analyzer over them with the same suppression
+// filtering the real driver applies, and checks the surviving
+// diagnostics against "// want" comments.
+//
+// Expectations are written on the line they refer to:
+//
+//	for k := range m { // want `range over map`
+//
+// The backquoted (or double-quoted) string is a regexp matched against
+// the diagnostic message; several on one line mean several diagnostics.
+// A fixture line that violates a contract but carries a
+// //detlint:ignore suppression takes no want comment — the harness
+// verifying "no diagnostic here" is exactly the accepted-suppression
+// test the contracts require.
+package atest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRE matches one quoted expectation after a "// want" marker.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package (an import path under srcRoot) and
+// applies the analyzer, comparing unsuppressed diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader("", "", srcRoot)
+	for _, pkg := range pkgs {
+		dir, ok := loader.LocalDir(pkg)
+		if !ok {
+			t.Errorf("fixture package %q not found under %s", pkg, srcRoot)
+			continue
+		}
+		units, err := loader.LoadDir(pkg, dir)
+		if err != nil {
+			t.Errorf("load %s: %v", pkg, err)
+			continue
+		}
+		for _, unit := range units {
+			diags, _, errs := analysis.RunUnit(loader, unit, []*analysis.Analyzer{a})
+			for _, err := range errs {
+				t.Errorf("%s: suppression error: %v", pkg, err)
+			}
+			checkWants(t, loader.Fset, unit, diags)
+		}
+	}
+}
+
+// checkWants matches diagnostics against want comments line by line.
+func checkWants(t *testing.T, fset *token.FileSet, unit *analysis.Unit, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range unit.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[i+len("// want"):], -1) {
+					var pat string
+					var err error
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else if pat, err = strconv.Unquote(q); err != nil {
+						t.Errorf("%s: bad want expectation %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected diagnostic: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+		}
+	}
+}

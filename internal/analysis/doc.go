@@ -1,0 +1,43 @@
+// Package analysis is the detlint suite: static analyzers that enforce
+// the determinism contracts ARCHITECTURE.md writes down for each layer.
+//
+// Everything this repo verifies — byte-identical tables, traces and
+// digests at any parallelism or sharding, replayable (Config, seed)
+// verdicts — depends on the deterministic packages (sim, core, fd,
+// check, sweep, campaign, trace, experiments, multiset, reduce) being
+// pure functions of their seeded inputs. The equality tests that guard
+// those contracts are dynamic: they must get lucky enough to exercise a
+// nondeterminism before it ships. The analyzers here check the contracts
+// at the source level instead, so a stray map iteration or wall-clock
+// read fails the build rather than a sweep three PRs later.
+//
+// The suite (run by cmd/detlint over ./...):
+//
+//   - maprange: range over a map is flagged unless the loop provably
+//     folds order-independently or collects into a slice that is sorted
+//     later in the same function.
+//   - wallclock: time.Now/Since/Sleep/After/… are forbidden; virtual
+//     time lives in sim.Time. _test.go deadlines are allowlisted.
+//   - globalrand: package-level math/rand draws and crypto/rand are
+//     forbidden; randomness flows through injected seeded *rand.Rand or
+//     the keyed splitmix64 fate streams.
+//   - unsortedgo: go statements are forbidden outside internal/sweep's
+//     audited worker pool.
+//   - ptrformat: %p and pointer/map/chan/func operands to fmt must not
+//     reach trace/digest/table rendering.
+//
+// Exceptions are declared in the source as
+//
+//	//detlint:ignore <analyzer> <reason>
+//
+// on (or directly above) the offending line. The reason is mandatory:
+// every suppression is a grep-able, justified audit artifact, and the
+// driver rejects a bare ignore instead of honouring it.
+//
+// The framework deliberately mirrors a small subset of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Reportf, an
+// analysistest-style harness in analysis/atest) so the suite can migrate
+// onto the upstream framework wholesale if the dependency is ever
+// vendored; it is reimplemented here because this module is
+// dependency-free by constraint.
+package analysis

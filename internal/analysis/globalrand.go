@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// globalRandFuncs are the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared, process-global source. The
+// constructors — New, NewSource, NewZipf, NewPCG, NewChaCha8 — are
+// allowed: they are exactly how seeded, injected generators get built.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true, "Int31": true, "Int31n": true,
+	"Int32": true, "Int32N": true, "Int63": true, "Int63n": true,
+	"Int64": true, "Int64N": true, "Uint": true, "UintN": true,
+	"Uint32": true, "Uint32N": true, "Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
+}
+
+// Globalrand forbids ambient randomness in deterministic packages. The
+// replay contract requires every random draw to come from an injected,
+// seeded *rand.Rand (sim.Env.Rand) or from the keyed splitmix64 fate
+// streams — the global math/rand source is shared process state (seeded
+// randomly since Go 1.20), and crypto/rand is nondeterministic by
+// design, so either one makes a verdict unreproducible from (Config,
+// seed).
+var Globalrand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "forbids global math/rand functions and crypto/rand in deterministic packages",
+	Run: func(pass *Pass) error {
+		if !IsDeterministic(pass.PkgPath) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				if path, _ := strconv.Unquote(imp.Path.Value); path == "crypto/rand" {
+					pass.Reportf(imp.Pos(), "crypto/rand is nondeterministic by design; deterministic packages draw randomness from an injected seeded *rand.Rand or the keyed fate streams")
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !globalRandFuncs[sel.Sel.Name] {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if isPkgFunc(obj, "math/rand") || isPkgFunc(obj, "math/rand/v2") {
+					pass.Reportf(sel.Pos(), "rand.%s draws from the process-global source; inject a seeded *rand.Rand (sim.Env.Rand) or a keyed fate stream instead", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks packages without the go/packages machinery (this
+// module is dependency-free, so the x/tools loader is not available). It
+// resolves module-local imports by mapping them onto directories under
+// the module root, and everything else through the stdlib source
+// importer, which compiles GOROOT packages from source — no network, no
+// export data, no go command subprocesses.
+//
+// Each directory yields up to two analysis units, mirroring how go test
+// builds packages: the package itself merged with its in-package _test.go
+// files (one types.Package, so test helpers and the code they exercise
+// type-check together), and, when present, the external "_test" package.
+// The external test package imports the plain base package — this repo
+// has no export_test.go indirection, so the go tool's test-variant
+// dependency propagation ("p [test]") is deliberately not reproduced.
+type Loader struct {
+	Fset *token.FileSet
+
+	// Module and Root anchor module mode: import paths below Module map
+	// to directories below Root.
+	Module string
+	Root   string
+
+	// SrcDir enables GOPATH-style resolution for analysistest fixtures:
+	// any import path that exists as a directory under SrcDir loads from
+	// there. Module/Root are ignored when set.
+	SrcDir string
+
+	ctxt build.Context
+	std  types.ImporterFrom
+	base map[string]*types.Package // import-path cache, build files only
+}
+
+// Unit is one type-checked collection of files an analyzer runs over.
+type Unit struct {
+	// PkgPath is the directory's import path; the external test package
+	// shares its base directory's path (classification is per directory).
+	PkgPath string
+	Name    string // package name ("sim", "sim_test", …)
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// NewLoader returns a loader in module mode (SrcDir empty) or fixture
+// mode (SrcDir set). Cgo is disabled in the file-selection context: the
+// repo is pure Go, and letting the source importer attempt cgo would
+// drag in toolchain subprocesses for nothing.
+func NewLoader(module, root, srcDir string) *Loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		Module: module,
+		Root:   root,
+		SrcDir: srcDir,
+		ctxt:   ctxt,
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		base:   make(map[string]*types.Package),
+	}
+}
+
+// localDir maps an import path onto a directory this loader owns, or
+// returns false for stdlib paths.
+func (l *Loader) LocalDir(path string) (string, bool) {
+	if l.SrcDir != "" {
+		dir := filepath.Join(l.SrcDir, filepath.FromSlash(path))
+		if bp, err := l.ctxt.ImportDir(dir, 0); err == nil && len(bp.GoFiles)+len(bp.TestGoFiles)+len(bp.XTestGoFiles) > 0 {
+			return dir, true
+		}
+		return "", false
+	}
+	if path == l.Module {
+		return l.Root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.Module+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if local, ok := l.LocalDir(path); ok {
+		return l.importBase(path, local)
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// importBase type-checks the build files (no tests) of a local package,
+// as seen by its importers.
+func (l *Loader) importBase(path, dir string) (*types.Package, error) {
+	if pkg, ok := l.base[path]; ok {
+		return pkg, nil
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("import %q: %v", path, err)
+	}
+	files, err := l.parse(dir, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, err := l.check(path, files)
+	if err != nil {
+		return nil, err
+	}
+	l.base[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir type-checks the package in dir (with import path pkgPath) and
+// returns its analysis units. A directory with only ignored files yields
+// no units and no error.
+func (l *Loader) LoadDir(pkgPath, dir string) ([]*Unit, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%s: %v", dir, err)
+	}
+	var units []*Unit
+
+	files, err := l.parse(dir, append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...))
+	if err != nil {
+		return nil, err
+	}
+	if len(files) > 0 {
+		pkg, info, err := l.check(pkgPath, files)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{PkgPath: pkgPath, Name: bp.Name, Files: files, Pkg: pkg, Info: info})
+	}
+
+	if len(bp.XTestGoFiles) > 0 {
+		xfiles, err := l.parse(dir, bp.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		xpkg, xinfo, err := l.check(pkgPath+"_test", xfiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, &Unit{PkgPath: pkgPath, Name: bp.Name + "_test", Files: xfiles, Pkg: xpkg, Info: xinfo})
+	}
+	return units, nil
+}
+
+func (l *Loader) parse(dir string, names []string) ([]*ast.File, error) {
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreMarker opens a suppression comment:
+//
+//	//detlint:ignore <analyzer> <reason...>
+//
+// The comment suppresses that analyzer's diagnostics on its own line and
+// on the line directly below it (so it can sit on the offending line or
+// immediately above it, like //nolint and //lint:ignore). The reason is
+// mandatory and free-form — every exception to a determinism contract is
+// meant to be a grep-able, justified artifact, and the driver rejects a
+// bare ignore as a malformed suppression rather than honouring it.
+const ignoreMarker = "//detlint:ignore"
+
+// Suppression is one parsed //detlint:ignore comment.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+// CollectSuppressions parses every //detlint:ignore comment in files.
+// Malformed comments (no analyzer name, no reason, or an analyzer name
+// detlint does not know) are returned as errors: a suppression that
+// silently matched nothing would defeat the audit trail.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]Suppression, []error) {
+	var sups []Suppression
+	var errs []error
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreMarker) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignoreMarker)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //detlint:ignoreXYZ — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					errs = append(errs, fmt.Errorf("%s: malformed %s: missing analyzer name and reason", pos, ignoreMarker))
+					continue
+				}
+				name := fields[0]
+				if known != nil && !known[name] {
+					errs = append(errs, fmt.Errorf("%s: %s names unknown analyzer %q", pos, ignoreMarker, name))
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), name))
+				if reason == "" {
+					errs = append(errs, fmt.Errorf("%s: %s %s: missing reason — every suppression must say why the contract does not apply", pos, ignoreMarker, name))
+					continue
+				}
+				sups = append(sups, Suppression{Pos: pos, Analyzer: name, Reason: reason})
+			}
+		}
+	}
+	return sups, errs
+}
+
+// FilterSuppressed drops diagnostics covered by a suppression: same file,
+// matching analyzer, and the suppression sits on the diagnostic's line or
+// the line directly above it.
+func FilterSuppressed(diags []Diagnostic, sups []Suppression) []Diagnostic {
+	if len(sups) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, sups) {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+func suppressed(d Diagnostic, sups []Suppression) bool {
+	for _, s := range sups {
+		if s.Analyzer != d.Analyzer || s.Pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if s.Pos.Line == d.Pos.Line || s.Pos.Line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCollectSuppressions(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//detlint:ignore maprange a justified reason
+var a int
+
+//detlint:ignore maprange
+var b int
+
+//detlint:ignore nosuch some reason
+var c int
+
+//detlint:ignore
+var d int
+
+//detlint:ignoreXYZ not ours at all
+var e int
+`)
+	known := map[string]bool{"maprange": true}
+	sups, errs := CollectSuppressions(fset, files, known)
+	if len(sups) != 1 {
+		t.Fatalf("got %d suppressions, want 1: %v", len(sups), sups)
+	}
+	if s := sups[0]; s.Analyzer != "maprange" || s.Reason != "a justified reason" || s.Pos.Line != 3 {
+		t.Errorf("parsed suppression = %+v", s)
+	}
+	if len(errs) != 3 {
+		t.Fatalf("got %d errors, want 3 (missing reason, unknown analyzer, bare marker): %v", len(errs), errs)
+	}
+	for _, want := range []string{"missing reason", "unknown analyzer", "missing analyzer name"} {
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no error mentioning %q in %v", want, errs)
+		}
+	}
+}
+
+func TestFilterSuppressed(t *testing.T) {
+	mk := func(file string, line int, analyzer string) Diagnostic {
+		return Diagnostic{Analyzer: analyzer, Pos: token.Position{Filename: file, Line: line}}
+	}
+	sups := []Suppression{{Pos: token.Position{Filename: "a.go", Line: 10}, Analyzer: "maprange", Reason: "r"}}
+	diags := []Diagnostic{
+		mk("a.go", 10, "maprange"),  // same line: suppressed
+		mk("a.go", 11, "maprange"),  // line below: suppressed
+		mk("a.go", 12, "maprange"),  // two below: kept
+		mk("a.go", 10, "wallclock"), // other analyzer: kept
+		mk("b.go", 10, "maprange"),  // other file: kept
+	}
+	kept := FilterSuppressed(diags, sups)
+	if len(kept) != 3 {
+		t.Fatalf("kept %d diagnostics, want 3: %v", len(kept), kept)
+	}
+	for _, d := range kept {
+		if d.Pos.Filename == "a.go" && d.Pos.Line != 12 && d.Analyzer == "maprange" {
+			t.Errorf("diagnostic should have been suppressed: %v", d)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package sim
+
+import (
+	crand "crypto/rand" // want `crypto/rand is nondeterministic by design`
+)
+
+func entropy(buf []byte) {
+	crand.Read(buf)
+}

@@ -1,0 +1,22 @@
+// Package sim is a globalrand fixture: deterministic by path segment.
+package sim
+
+import "math/rand"
+
+func global() int {
+	return rand.Intn(10) // want `rand.Intn draws from the process-global source`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the process-global source`
+}
+
+func injected(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // constructors are the approved path: no diagnostic
+	return r.Intn(10)
+}
+
+func suppressed() int {
+	//detlint:ignore globalrand fixture demo: one-shot helper outside any replayed path
+	return rand.Int()
+}

@@ -1,0 +1,12 @@
+// Package cliutil is the maprange control fixture: it is not a
+// deterministic package, so the same loop that fires in sim draws no
+// diagnostic here.
+package cliutil
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

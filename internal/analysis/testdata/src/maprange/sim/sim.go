@@ -1,0 +1,109 @@
+// Package sim is a maprange fixture: the "sim" path segment makes it a
+// deterministic package.
+package sim
+
+import "sort"
+
+// Violations.
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+func lastWriterWins(m map[string]int) int {
+	var last int
+	for _, v := range m { // want `range over map`
+		last = v
+	}
+	return last
+}
+
+func callInBody(m map[string]int, f func(int)) {
+	for _, v := range m { // want `range over map`
+		f(v)
+	}
+}
+
+// Accepted shapes: provably order-independent, no diagnostics.
+
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func guardedCollect(m map[string]int, keep map[string]bool) []string {
+	var out []string
+	for k := range m {
+		if keep[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func commutativeFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func runningMax(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func guardedMax(m map[string]int) int {
+	best := -1
+	for k, v := range m {
+		if k != "skip" && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func keyedWrite(m map[string]int) map[string]int {
+	doubled := make(map[string]int, len(m))
+	for k, v := range m {
+		doubled[k] = v * 2
+	}
+	return doubled
+}
+
+func existenceScan(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressed: a real violation with a justified ignore yields nothing;
+// the harness checking "no diagnostic here" is the accepted-suppression
+// test.
+
+func suppressedCollect(m map[string]int) []string {
+	var out []string
+	//detlint:ignore maprange fixture demo: order is normalized downstream
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package sim is a ptrformat fixture: deterministic by path segment.
+package sim
+
+import "fmt"
+
+type row struct{ a, b int }
+
+func addr(r *row) string {
+	return fmt.Sprintf("%p", r) // want `%p renders a virtual address`
+}
+
+func mapOperand(m map[string]int) string {
+	return fmt.Sprintf("cells=%v", m) // want `map operand reaches fmt.Sprintf`
+}
+
+func chanOperand(c chan int) {
+	fmt.Println(c) // want `chan operand reaches fmt.Println`
+}
+
+func bareIntPointer(n *int) error {
+	return fmt.Errorf("at %v", n) // want `pointer operand reaches fmt.Errorf`
+}
+
+func structPointer(r *row) string {
+	return fmt.Sprintf("%v", r) // pointers to structs render contents: no diagnostic
+}
+
+func suppressed(m map[string]int) string {
+	//detlint:ignore ptrformat fixture demo: debug helper, output never reaches canonical bytes
+	return fmt.Sprintf("%v", m)
+}

@@ -1,0 +1,13 @@
+// Package sim is an unsortedgo fixture: deterministic by path segment.
+package sim
+
+func fanOut(work []func()) {
+	for _, w := range work {
+		go w() // want `go statement in a deterministic package`
+	}
+}
+
+func suppressed(w func()) {
+	//detlint:ignore unsortedgo fixture demo: audited helper whose results are slot-indexed, not order-dependent
+	go w()
+}

@@ -1,0 +1,25 @@
+// Package sim is a wallclock fixture: deterministic by path segment.
+package sim
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+func pause() {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+func await() <-chan time.Time {
+	return time.After(time.Second) // want `time.After reads the wall clock`
+}
+
+func budget() time.Duration {
+	return 5 * time.Second // duration arithmetic is constant: no diagnostic
+}
+
+func suppressedStamp() time.Time {
+	//detlint:ignore wallclock fixture demo: feeds an operator log line, not canonical bytes
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+package sim
+
+import "time"
+
+// _test.go files are allowlisted: test deadlines legitimately watch the
+// wall clock, so none of these draw diagnostics.
+
+func testDeadline() time.Time {
+	return time.Now().Add(time.Second)
+}
+
+func testPause() {
+	time.Sleep(time.Millisecond)
+}

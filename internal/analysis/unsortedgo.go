@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Unsortedgo flags go statements in deterministic packages. Goroutine
+// interleaving is scheduler-chosen, so any result that depends on it
+// breaks byte-identical replay. The one audited exception is
+// internal/sweep's worker pool, whose aggregation is proven
+// order-independent (results slot by input index, serial-vs-parallel
+// equality is pinned by tests), so the whole sweep package is exempt.
+// Concurrency *tests* elsewhere (stress tests, race-detector fodder) are
+// legitimate but must carry a //detlint:ignore with a reason, keeping
+// every concurrent entry point in a deterministic package enumerable.
+var Unsortedgo = &Analyzer{
+	Name: "unsortedgo",
+	Doc:  "flags go statements in deterministic packages outside internal/sweep's audited pool",
+	Run: func(pass *Pass) error {
+		if !IsDeterministic(pass.PkgPath) {
+			return nil
+		}
+		if seg := pass.PkgPath; seg == "sweep" || strings.HasSuffix(seg, "/sweep") {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(), "go statement in a deterministic package: scheduler interleaving breaks byte-identical replay; route parallelism through internal/sweep's audited pool")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the package time entry points that read or wait on
+// the wall clock. Duration arithmetic (time.Duration, time.Millisecond,
+// …) is untouched: constants are deterministic, clocks are not.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock forbids wall-clock reads in deterministic packages. Every
+// run must be a pure function of (Config, seed); virtual time lives in
+// sim.Time and advances only through the event queue, so a time.Now or a
+// timer in sim/core/fd/… injects the host scheduler into "canonical"
+// output. internal/hruntime (the real-clock goroutine runtime) is not a
+// deterministic package, and _test.go files are allowlisted: test
+// deadlines and timeouts legitimately watch the wall clock.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/Since/Sleep/After/… in deterministic packages (tests allowlisted)",
+	Run: func(pass *Pass) error {
+		if !IsDeterministic(pass.PkgPath) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallClockFuncs[sel.Sel.Name] {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if !isPkgFunc(obj, "time") || pass.InTestFile(sel.Pos()) {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "time.%s reads the wall clock; deterministic packages must use virtual sim.Time (replayability contract, ARCHITECTURE.md)", sel.Sel.Name)
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// isPkgFunc reports whether obj is a package-level function of the given
+// package path.
+func isPkgFunc(obj types.Object, pkgPath string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

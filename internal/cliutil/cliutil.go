@@ -48,6 +48,37 @@ func ValidateTraceBuf(v int) error {
 	return nil
 }
 
+// ValidateTraceFormat checks the -trace-format / -trace flag combination
+// at parse time. The format must be "text" or "binary", and a non-default
+// format without -trace is rejected rather than silently ignored: the user
+// asked for an encoding of a trace that will never be written, which is
+// always a misassembled command line.
+func ValidateTraceFormat(format, tracePath string) error {
+	switch format {
+	case "text", "binary":
+	default:
+		return fmt.Errorf("-trace-format %q: want text or binary", format)
+	}
+	if format != "text" && tracePath == "" {
+		return fmt.Errorf("-trace-format %s without -trace: there is no trace to encode (pass -trace <file>)", format)
+	}
+	return nil
+}
+
+// ValidateBeaters checks -beaters against the system size n: 0 selects
+// every process, 1..n selects that many, and anything else is rejected at
+// the flag boundary — more beaters than processes used to be silently
+// clamped to "all", hiding the typo that produced it.
+func ValidateBeaters(beaters, n int) error {
+	if beaters < 0 {
+		return fmt.Errorf("-beaters %d: must be ≥ 0 (0 = all n)", beaters)
+	}
+	if beaters > n {
+		return fmt.Errorf("-beaters %d exceeds n=%d: at most every process can beat", beaters, n)
+	}
+	return nil
+}
+
 // ParseCrashes parses a crash schedule of the form "pid:time[,pid:time...]"
 // (e.g. "1:30,4:120"). An empty or blank string yields an empty schedule.
 func ParseCrashes(s string) (map[sim.PID]sim.Time, error) {

@@ -213,3 +213,55 @@ func TestValidateTraceBuf(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateTraceFormat(t *testing.T) {
+	cases := []struct {
+		format, trace string
+		wantErr       string // substring; empty = valid
+	}{
+		{"text", "", ""},
+		{"text", "out.trace", ""},
+		{"binary", "out.trace", ""},
+		{"binary", "", "without -trace"},
+		{"protobuf", "out.trace", "want text or binary"},
+		{"", "", "want text or binary"},
+	}
+	for _, c := range cases {
+		err := ValidateTraceFormat(c.format, c.trace)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("ValidateTraceFormat(%q, %q) = %v, want nil", c.format, c.trace, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ValidateTraceFormat(%q, %q) = %v, want error containing %q", c.format, c.trace, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateBeaters(t *testing.T) {
+	cases := []struct {
+		beaters, n int
+		wantErr    string // substring; empty = valid
+	}{
+		{0, 5, ""}, // 0 = all n
+		{1, 5, ""}, // boundary: minimum selective value
+		{5, 5, ""}, // boundary: exactly n
+		{6, 5, "exceeds n=5"},
+		{1, 0, "exceeds n=0"},
+		{-1, 5, "must be ≥ 0"},
+	}
+	for _, c := range cases {
+		err := ValidateBeaters(c.beaters, c.n)
+		if c.wantErr == "" {
+			if err != nil {
+				t.Errorf("ValidateBeaters(%d, %d) = %v, want nil", c.beaters, c.n, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ValidateBeaters(%d, %d) = %v, want error containing %q", c.beaters, c.n, err, c.wantErr)
+		}
+	}
+}

@@ -55,9 +55,7 @@ func (r fig8Run) execErr() (check.Report, error) {
 		insts[i] = core.NewFig8(det, r.t, r.proposals[i])
 		eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
 	}
-	for p, at := range r.crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(r.crashes)
 	eng.RunUntil(1_000_000, func() bool {
 		for _, p := range truth.Correct() {
 			if !insts[p].Decided().Decided {
@@ -256,9 +254,7 @@ func TestFig8OverRealDetector(t *testing.T) {
 		insts[i] = core.NewFig8(det, 2, proposals[i])
 		eng.AddProcess(sim.NewNode().Add("ohp", det).Add("consensus", insts[i]))
 	}
-	for p, at := range crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(crashes)
 	eng.RunUntil(2_000_000, func() bool {
 		for _, p := range truth.Correct() {
 			if !insts[p].Decided().Decided {

@@ -29,9 +29,7 @@ func runFig8Alpha(t *testing.T, ids ident.Assignment, alpha int, crashes map[sim
 		insts[i] = core.NewFig8Alpha(det, alpha, proposals[i])
 		eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
 	}
-	for p, at := range crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(crashes)
 	eng.RunUntil(1_000_000, func() bool {
 		for _, p := range truth.Correct() {
 			if !insts[p].Decided().Decided {

@@ -49,9 +49,7 @@ func (r fig9Run) exec(t *testing.T) check.Report {
 		}
 		eng.AddProcess(node.Add("consensus", insts[i]))
 	}
-	for p, at := range r.crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(r.crashes)
 	eng.RunUntil(1_000_000, func() bool {
 		for _, p := range truth.Correct() {
 			if !insts[p].Decided().Decided {

@@ -78,9 +78,7 @@ func runConsensusStress(t *testing.T, seed int64, ids ident.Assignment, crashes 
 		insts[i] = build(det, world, proposals[i])
 		eng.AddProcess(sim.NewNode().Add("homega", det).Add("consensus", insts[i]))
 	}
-	for p, at := range crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(crashes)
 	eng.RunUntil(2_000_000, func() bool {
 		for _, p := range truth.Correct() {
 			if !insts[p].Decided().Decided {
@@ -116,9 +114,7 @@ func runFig9Stress(t *testing.T, seed int64, ids ident.Assignment, crashes map[s
 		insts[i] = core.NewFig9(ho, hs, proposals[i])
 		eng.AddProcess(sim.NewNode().Add("hsigma", hs).Add("homega", ho).Add("consensus", insts[i]))
 	}
-	for p, at := range crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(crashes)
 	eng.RunUntil(2_000_000, func() bool {
 		for _, p := range truth.Correct() {
 			if !insts[p].Decided().Decided {
@@ -164,9 +160,7 @@ func TestEndToEndStress(t *testing.T) {
 			insts[i] = core.NewFig8(det, 2, proposals[i])
 			eng.AddProcess(sim.NewNode().Add("ohp", det).Add("consensus", insts[i]))
 		}
-		for p, at := range crashes {
-			eng.CrashAt(p, at)
-		}
+		eng.CrashSchedule(crashes)
 		eng.RunUntil(3_000_000, func() bool {
 			for _, p := range truth.Correct() {
 				if !insts[p].Decided().Decided {

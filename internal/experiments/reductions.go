@@ -44,9 +44,7 @@ func newRedHarness(ids ident.Assignment, crashes map[sim.PID]sim.Time, seed int6
 }
 
 func (h *redHarness) run() {
-	for p, at := range h.crashes {
-		h.eng.CrashAt(p, at)
-	}
+	h.eng.CrashSchedule(h.crashes)
 	h.eng.Run(redHorizon)
 }
 
@@ -184,9 +182,7 @@ func E3AliveList() (Table, error) {
 			dets[i] = alive.New(0)
 			eng.AddProcess(dets[i])
 		}
-		for p, at := range cfg.crashes {
-			eng.CrashAt(p, at)
-		}
+		eng.CrashSchedule(cfg.crashes)
 		probe := fd.NewProbe(eng, cfg.n, func(p sim.PID) ([]ident.ID, bool) {
 			if eng.Crashed(p) {
 				return nil, false

@@ -20,9 +20,7 @@ func runAlive(t *testing.T, n int, crashes map[sim.PID]sim.Time, net sim.Model, 
 		dets[i] = New(0)
 		eng.AddProcess(dets[i])
 	}
-	for p, at := range crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(crashes)
 	probe := fd.NewProbe(eng, n, func(p sim.PID) ([]ident.ID, bool) {
 		if eng.Crashed(p) {
 			return nil, false

@@ -1,6 +1,7 @@
 package ap
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/fd"
@@ -17,10 +18,15 @@ func runAP(t *testing.T, n int, crashes map[sim.PID]int, seed int64, steps int) 
 		dets[i] = New()
 		eng.AddProcess(dets[i])
 	}
+	crashPids := make([]sim.PID, 0, len(crashes))
+	for p := range crashes {
+		crashPids = append(crashPids, p)
+	}
+	slices.Sort(crashPids)
 	crashTimes := make(map[sim.PID]sim.Time)
-	for p, step := range crashes {
-		eng.CrashAtStep(p, step, 0.5)
-		crashTimes[p] = sim.Time(step)
+	for _, p := range crashPids {
+		eng.CrashAtStep(p, crashes[p], 0.5)
+		crashTimes[p] = sim.Time(crashes[p])
 	}
 	probe := fd.NewSyncProbe(eng, n, func(p sim.PID) (int, bool) {
 		if eng.Crashed(p) || !dets[p].Valid() {

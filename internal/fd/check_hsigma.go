@@ -2,6 +2,7 @@ package fd
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ident"
 	"repro/internal/multiset"
@@ -63,10 +64,18 @@ func CheckHSigma(g *GroundTruth, quora *Probe[[]QuorumPair], labels *Probe[[]Lab
 		for i := 1; i < len(hist); i++ {
 			prevSet := labelSet(hist[i-1].Value)
 			curSet := labelSet(hist[i].Value)
+			// Collect every lost label and report the sorted set: the
+			// error string reaches campaign row bytes, so which witness a
+			// map range happens to visit first must not leak into it.
+			var lost []string
 			for l := range prevSet {
 				if !curSet[l] {
-					return Result{}, fmt.Errorf("HΣ monotonicity: process %d lost label %q at t=%d", p, l, hist[i].Time)
+					lost = append(lost, string(l))
 				}
+			}
+			if len(lost) > 0 {
+				sort.Strings(lost)
+				return Result{}, fmt.Errorf("HΣ monotonicity: process %d lost label(s) %q at t=%d", p, lost, hist[i].Time)
 			}
 		}
 	}

@@ -1,0 +1,33 @@
+package fd
+
+import (
+	"testing"
+)
+
+// TestMonotonicityErrorDeterministic drops several labels at once between
+// two samples and demands the violation message be identical across
+// repeated checks: the checker used to report whichever lost label a map
+// range visited first, and checker error strings reach campaign row bytes.
+func TestMonotonicityErrorDeterministic(t *testing.T) {
+	g := truth3AAB()
+	quora := NewStaticProbe([][]Sample[[]QuorumPair]{nil, nil, nil})
+	labels := NewStaticProbe([][]Sample[[]Label]{
+		hist([]Label{"la", "lb", "lc", "ld"}, []Label{"la"}),
+		nil,
+		nil,
+	})
+	_, err := CheckHSigma(g, quora, labels)
+	if err == nil {
+		t.Fatal("shrinking label history must fail monotonicity")
+	}
+	want := err.Error()
+	for i := 0; i < 20; i++ {
+		_, err := CheckHSigma(g, quora, labels)
+		if err == nil || err.Error() != want {
+			t.Fatalf("rerun %d: error %q, want stable %q", i, err, want)
+		}
+	}
+	if want != `HΣ monotonicity: process 0 lost label(s) ["lb" "lc" "ld"] at t=2` {
+		t.Errorf("unexpected (or unsorted) violation message: %s", want)
+	}
+}

@@ -35,6 +35,7 @@ func bruteDisjoint(ids ident.Assignment, m1 *multiset.Multiset[ident.ID], s1 []s
 	for _, q1 := range reals(m1, s1) {
 		for _, q2 := range reals(m2, s2) {
 			disjoint := true
+			//detlint:ignore maprange existence scan: breaks on the first shared member; the boolean outcome is the same whichever witness is visited first
 			for p := range q1 {
 				if q2[p] {
 					disjoint = false

@@ -27,9 +27,7 @@ func setup(ids ident.Assignment, net sim.Model, crashes map[sim.PID]sim.Time, se
 		dets[i] = New()
 		eng.AddProcess(dets[i])
 	}
-	for p, at := range crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(crashes)
 	tr := fd.NewProbe(eng, ids.N(), func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
 		if eng.Crashed(p) {
 			return nil, false

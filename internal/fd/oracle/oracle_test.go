@@ -31,9 +31,7 @@ func newFixture(ids ident.Assignment, crashes map[sim.PID]sim.Time, stabilize si
 		node := sim.NewNode().Add("tick", &ticker{}).Add("fd", build(world, i))
 		eng.AddProcess(node)
 	}
-	for p, at := range crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(crashes)
 	return &fixture{eng: eng, truth: truth, world: world}
 }
 

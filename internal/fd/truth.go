@@ -74,6 +74,7 @@ func NewGroundTruthFromChurn(ids ident.Assignment, evs []sim.ChurnEvent) *Ground
 		byProc[ev.P] = append(byProc[ev.P], ev)
 	}
 	down := make(map[sim.PID][]Interval, len(byProc))
+	//detlint:ignore maprange per-key build: each process's intervals derive only from its own (locally sorted) events, written under its own key
 	for p, pevs := range byProc {
 		sort.SliceStable(pevs, func(i, j int) bool { return pevs[i].At < pevs[j].At })
 		var ivs []Interval
@@ -201,6 +202,7 @@ func (g *GroundTruth) AliveAt(t sim.Time) []sim.PID {
 // AliveCountAt returns |AliveAt(t)| without building the slice.
 func (g *GroundTruth) AliveCountAt(t sim.Time) int {
 	n := g.IDs.N()
+	//detlint:ignore maprange commutative count: downAt is a pure read of immutable intervals and n-- folds order-independently
 	for p := range g.Down {
 		if g.downAt(p, t) {
 			n--

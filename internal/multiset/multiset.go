@@ -34,6 +34,7 @@ func From[T cmp.Ordered](elems ...T) *Multiset[T] {
 // Non-positive multiplicities are ignored.
 func FromCounts[T cmp.Ordered](counts map[T]int) *Multiset[T] {
 	m := New[T]()
+	//detlint:ignore maprange per-element insert into a fresh multiset: AddN is a keyed accumulation, entries are independent
 	for e, c := range counts {
 		if c > 0 {
 			m.AddN(e, c)
@@ -115,6 +116,7 @@ func (m *Multiset[T]) Support() []T {
 func (m *Multiset[T]) Min() (T, bool) {
 	var best T
 	first := true
+	//detlint:ignore maprange running min: commutative, associative and idempotent, so visit order cannot change the result
 	for e := range m.counts {
 		if first || e < best {
 			best = e
@@ -182,6 +184,7 @@ func (m *Multiset[T]) Intersects(o *Multiset[T]) bool {
 // multiplicity min(mult_m, mult_o).
 func (m *Multiset[T]) Intersect(o *Multiset[T]) *Multiset[T] {
 	out := New[T]()
+	//detlint:ignore maprange per-element insert into a fresh multiset: min(n, on) depends only on the entry, AddN is keyed accumulation
 	for e, n := range m.counts {
 		if on := o.counts[e]; on > 0 {
 			out.AddN(e, min(n, on))
@@ -207,6 +210,7 @@ func (m *Multiset[T]) Union(o *Multiset[T]) *Multiset[T] {
 // mult_m + mult_o.
 func (m *Multiset[T]) Sum(o *Multiset[T]) *Multiset[T] {
 	out := m.Clone()
+	//detlint:ignore maprange per-element addition into a cloned multiset: AddN is keyed commutative accumulation
 	for e, n := range o.counts {
 		out.AddN(e, n)
 	}

@@ -34,9 +34,7 @@ func relRun(ids ident.Assignment, crashes map[sim.PID]sim.Time, seed int64,
 	truth := fd.NewGroundTruth(ids, crashes)
 	world := oracle.NewWorld(truth, relStabilize)
 	check := build(eng, truth, world)
-	for p, at := range crashes {
-		eng.CrashAt(p, at)
-	}
+	eng.CrashSchedule(crashes)
 	eng.Run(relHorizon)
 	return check()
 }

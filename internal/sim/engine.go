@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"slices"
 	"sync"
 
 	"repro/internal/ident"
@@ -329,6 +330,23 @@ func (e *Engine) CrashAt(p PID, t Time) {
 		e.lastCrash[p] = k
 	}
 	e.push(event{time: t, kind: evCrash, pid: int32(p)})
+}
+
+// CrashSchedule registers a whole crash schedule, applying the entries in
+// ascending PID order. Simultaneous events are tie-broken by registration
+// sequence, so scheduling crashes directly from a Go map range would bake
+// the runtime's randomized iteration order into the event queue — and from
+// there into trace bytes. This is the one deterministic way to feed a
+// map-shaped schedule to the engine.
+func (e *Engine) CrashSchedule(sched map[PID]Time) {
+	pids := make([]PID, 0, len(sched))
+	for p := range sched {
+		pids = append(pids, p)
+	}
+	slices.Sort(pids)
+	for _, p := range pids {
+		e.CrashAt(p, sched[p])
+	}
 }
 
 // RecoverAt schedules process p to recover at time t: if it is down at that

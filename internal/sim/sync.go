@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/ident"
 	"repro/internal/trace"
@@ -181,10 +182,17 @@ func (e *SyncEngine) runOneStep() {
 		}
 	}
 
-	// Crash sub-phase.
+	// Crash sub-phase. Apply in ascending PID order: crashingNow is a map,
+	// and recording KindCrash events in its iteration order would make the
+	// trace bytes for same-step crashes differ run to run.
+	crashIDs := make([]int, 0, len(crashingNow))
 	for pid := range crashingNow {
+		crashIDs = append(crashIDs, int(pid))
+	}
+	sort.Ints(crashIDs)
+	for _, pid := range crashIDs {
 		e.crashed[pid] = true
-		e.record(trace.Event{Time: int64(e.step), Kind: trace.KindCrash, PID: int(pid)})
+		e.record(trace.Event{Time: int64(e.step), Kind: trace.KindCrash, PID: pid})
 	}
 
 	// Receive sub-phase: every still-alive process receives this step's

@@ -177,6 +177,7 @@ func ohpDigest(t *testing.T, seed int64) string {
 	// Per-tag counts live in a map: fold them commutatively (XOR) so the
 	// digest does not depend on Go's randomized iteration order.
 	var tags uint64
+	//detlint:ignore maprange XOR of per-entry hashes is commutative; each entry is hashed independently
 	for tag, n := range res.Stats.ByTag {
 		th := fnv.New64a()
 		fmt.Fprintf(th, "%s=%d", tag, n)

@@ -69,6 +69,7 @@ func TestConcurrentRecord(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
+		//detlint:ignore unsortedgo concurrency smoke for the atomic stats counters; asserts totals only, nothing here reaches replayed trace bytes
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 100; j++ {
