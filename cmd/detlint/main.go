@@ -15,8 +15,15 @@ import (
 func main() {
 	ignores := flag.Bool("ignores", false, "list every //detlint:ignore suppression (file:line analyzer reason) instead of diagnostics")
 	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flow := flag.Bool("flow", false, "also run detflow, the whole-module interprocedural nondeterminism taint analysis")
+	report := flag.Bool("report", false, "with -flow: print the certified-deterministic API report instead of diagnostics")
+	jsonOut := flag.Bool("json", false, "render diagnostics as a JSON array (machine-readable, byte-stable)")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *report && !*flow {
+		fail(fmt.Errorf("-report requires -flow"))
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
@@ -41,6 +48,7 @@ func main() {
 
 	loader := analysis.NewLoader(module, root, "")
 	var (
+		units   []*analysis.Unit
 		diags   []analysis.Diagnostic
 		sups    []analysis.Suppression
 		badSups []error
@@ -50,16 +58,32 @@ func main() {
 		if rel, _ := filepath.Rel(root, dir); rel != "." {
 			pkgPath = module + "/" + filepath.ToSlash(rel)
 		}
-		units, err := loader.LoadDir(pkgPath, dir)
+		us, err := loader.LoadDir(pkgPath, dir)
 		if err != nil {
 			fail(err)
 		}
-		for _, unit := range units {
+		for _, unit := range us {
 			d, s, errs := analysis.RunUnit(loader, unit, analysis.All())
+			units = append(units, unit)
 			diags = append(diags, d...)
 			sups = append(sups, s...)
 			badSups = append(badSups, errs...)
 		}
+	}
+
+	if *flow {
+		fl := analysis.NewFlow(loader.Fset, units, root, sups)
+		if *report {
+			for _, err := range badSups {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			if len(badSups) > 0 {
+				os.Exit(1)
+			}
+			fmt.Print(fl.Report())
+			return
+		}
+		diags = append(diags, fl.Diagnostics()...)
 	}
 
 	if *ignores {
@@ -85,26 +109,37 @@ func main() {
 		exit = 1
 	}
 	if !*ignores {
-		analysis.SortDiagnostics(diags)
-		for _, d := range diags {
-			rel := d
+		for i, d := range diags {
 			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-				rel.Pos.Filename = r
+				diags[i].Pos.Filename = r
 			}
-			fmt.Println(rel)
-			exit = 1
+		}
+		analysis.SortDiagnostics(diags)
+		if *jsonOut {
+			os.Stdout.Write(analysis.DiagnosticsJSON(diags))
+			if len(diags) > 0 {
+				exit = 1
+			}
+		} else {
+			for _, d := range diags {
+				fmt.Println(d)
+				exit = 1
+			}
 		}
 	}
 	os.Exit(exit)
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: detlint [-ignores] [-analyzers] [packages]
+	fmt.Fprintf(os.Stderr, `usage: detlint [-flow] [-report] [-json] [-ignores] [-analyzers] [packages]
 
 detlint statically enforces this repo's determinism contracts
 (ARCHITECTURE.md) over the given package patterns (default ./...).
-Suppress a finding with an adjacent "//detlint:ignore <analyzer>
-<reason>" comment; the reason is mandatory.
+-flow adds the interprocedural taint pass (nondeterminism laundered
+through helpers and exempt packages); -flow -report prints the
+certified-deterministic API report instead. Suppress a finding with an
+adjacent "//detlint:ignore <analyzer> <reason>" comment; the reason is
+mandatory.
 
 Flags:
 `)

@@ -130,3 +130,17 @@ func IsDeterministic(pkgPath string) bool {
 	}
 	return false
 }
+
+// hasSegment reports whether any path segment of pkgPath equals seg.
+// Package-scoped exemptions (sweep's audited pool, hruntime's real-clock
+// runtime) match by segment so fixture packages ("unsortedgo/sweep") and
+// hypothetical subpackages inherit the exemption, mirroring how
+// IsDeterministic classifies.
+func hasSegment(pkgPath, seg string) bool {
+	for _, s := range strings.Split(pkgPath, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

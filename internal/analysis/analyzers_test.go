@@ -27,6 +27,18 @@ func TestPtrformat(t *testing.T) {
 	atest.Run(t, "testdata/src", analysis.Ptrformat, "ptrformat/sim")
 }
 
+func TestSelectorder(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.Selectorder, "selectorder/sim", "selectorder/sweep")
+}
+
+func TestUnstablesort(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.Unstablesort, "unstablesort/sim")
+}
+
+func TestOsenv(t *testing.T) {
+	atest.Run(t, "testdata/src", analysis.Osenv, "osenv/sim")
+}
+
 func TestIsDeterministic(t *testing.T) {
 	cases := []struct {
 		path string

@@ -17,6 +17,7 @@
 package atest
 
 import (
+	"go/ast"
 	"go/token"
 	"regexp"
 	"strconv"
@@ -51,20 +52,57 @@ func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgs ...string) {
 			for _, err := range errs {
 				t.Errorf("%s: suppression error: %v", pkg, err)
 			}
-			checkWants(t, loader.Fset, unit, diags)
+			checkWants(t, loader.Fset, unit.Files, diags)
 		}
 	}
 }
 
+// RunFlow loads every listed fixture package as one multi-package tree,
+// runs the detflow interprocedural analysis over all of them together,
+// and compares its frontier diagnostics against the fixtures' want
+// comments (collected across every loaded file). The Flow is returned
+// so tests can additionally golden its certified-API report.
+func RunFlow(t *testing.T, srcRoot string, pkgs ...string) *analysis.Flow {
+	t.Helper()
+	loader := analysis.NewLoader("", "", srcRoot)
+	var units []*analysis.Unit
+	var sups []analysis.Suppression
+	for _, pkg := range pkgs {
+		dir, ok := loader.LocalDir(pkg)
+		if !ok {
+			t.Fatalf("fixture package %q not found under %s", pkg, srcRoot)
+		}
+		us, err := loader.LoadDir(pkg, dir)
+		if err != nil {
+			t.Fatalf("load %s: %v", pkg, err)
+		}
+		for _, unit := range us {
+			s, errs := analysis.CollectSuppressions(loader.Fset, unit.Files, analysis.Known())
+			for _, err := range errs {
+				t.Errorf("%s: suppression error: %v", pkg, err)
+			}
+			sups = append(sups, s...)
+			units = append(units, unit)
+		}
+	}
+	flow := analysis.NewFlow(loader.Fset, units, srcRoot, sups)
+	var files []*ast.File
+	for _, unit := range units {
+		files = append(files, unit.Files...)
+	}
+	checkWants(t, loader.Fset, files, flow.Diagnostics())
+	return flow
+}
+
 // checkWants matches diagnostics against want comments line by line.
-func checkWants(t *testing.T, fset *token.FileSet, unit *analysis.Unit, diags []analysis.Diagnostic) {
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
 	t.Helper()
 	type key struct {
 		file string
 		line int
 	}
 	wants := map[key][]*regexp.Regexp{}
-	for _, f := range unit.Files {
+	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text

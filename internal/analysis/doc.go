@@ -11,7 +11,7 @@
 // at the source level instead, so a stray map iteration or wall-clock
 // read fails the build rather than a sweep three PRs later.
 //
-// The suite (run by cmd/detlint over ./...):
+// The leaf suite (run by cmd/detlint over ./...):
 //
 //   - maprange: range over a map is flagged unless the loop provably
 //     folds order-independently or collects into a slice that is sorted
@@ -25,6 +25,25 @@
 //     audited worker pool.
 //   - ptrformat: %p and pointer/map/chan/func operands to fmt must not
 //     reach trace/digest/table rendering.
+//   - selectorder: multi-case selects are forbidden — the runtime picks
+//     among ready cases pseudorandomly (sweep and hruntime exempt).
+//   - unstablesort: sort.Slice/sort.Sort over a potentially-tying key
+//     are forbidden — use stable sorts, whole-element comparison, or a
+//     multi-key tie-breaker chain.
+//   - osenv: ambient host-state reads (os.Getenv, os.ReadDir,
+//     filepath.Glob, …) are forbidden; explicit-path file I/O is an
+//     input and stays legal. _test.go harness knobs are allowlisted.
+//
+// On top of the leaves, Flow (cmd/detlint -flow) is the whole-module
+// interprocedural taint pass: it recognizes the same sources in every
+// module package, propagates per-function source-instance summaries
+// over a call graph (static edges via go/types; interface and
+// func-value calls over-approximated by name+arity against
+// deterministic-set candidates), and reports at the taint frontier —
+// the deterministic-side call site whose module-local callee carries
+// live taint — with the full call chain to the concrete source. Its
+// Report method renders the certified-deterministic API report checked
+// in as detflow_report.txt.
 //
 // Exceptions are declared in the source as
 //

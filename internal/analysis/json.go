@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// jsonDiagnostic is the machine-readable diagnostic shape emitted by
+// "detlint -json". The field set and order are part of the tool's
+// interface: CI consumers parse it, and the output-byte-stability test
+// pins it, so changes here are deliberate API changes.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// DiagnosticsJSON renders diagnostics as an indented JSON array with a
+// trailing newline. The input is sorted first (same order as text
+// output), and an empty input renders as "[]" rather than "null", so
+// the bytes are a pure function of the diagnostic set.
+func DiagnosticsJSON(diags []Diagnostic) []byte {
+	SortDiagnostics(diags)
+	out := make([]jsonDiagnostic, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiagnostic{
+			Analyzer: d.Analyzer,
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+		}
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(out); err != nil {
+		// A flat struct of strings and ints cannot fail to encode.
+		panic(err)
+	}
+	return buf.Bytes()
+}

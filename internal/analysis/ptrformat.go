@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -39,28 +40,8 @@ var Ptrformat = &Analyzer{
 				if !ok {
 					return true
 				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				fmtIdx, ok := fmtFormatArg[sel.Sel.Name]
-				if !ok || !isPkgFunc(pass.Info.Uses[sel.Sel], "fmt") {
-					return true
-				}
-				firstOperand := fmtIdx + 1
-				if fmtIdx >= 0 && fmtIdx < len(call.Args) {
-					if format, ok := stringLiteral(pass, call.Args[fmtIdx]); ok && strings.Contains(verbsOf(format), "p") {
-						pass.Reportf(call.Args[fmtIdx].Pos(), "%%p renders a virtual address; address bits are nondeterministic and must not reach trace/digest/table bytes")
-					}
-				}
-				for _, arg := range call.Args[min(firstOperand, len(call.Args)):] {
-					tv, ok := pass.Info.Types[arg]
-					if !ok {
-						continue
-					}
-					if kind := leakyOperand(tv.Type); kind != "" {
-						pass.Reportf(arg.Pos(), "%s operand reaches fmt.%s: %s; extract and sort explicitly before rendering (canonical-bytes contract)", kind, sel.Sel.Name, leakWhy(kind))
-					}
+				for _, leak := range ptrLeaksAt(pass.Info, call) {
+					pass.Reportf(leak.pos, "%s", leak.msg)
 				}
 				return true
 			})
@@ -69,10 +50,47 @@ var Ptrformat = &Analyzer{
 	},
 }
 
+// ptrLeak is one address/order leak in a fmt call.
+type ptrLeak struct {
+	pos token.Pos
+	msg string
+}
+
+// ptrLeaksAt inspects one call expression for formatting that leaks
+// address bits or iteration order. Shared between the Ptrformat
+// analyzer and detflow's taint-source scan.
+func ptrLeaksAt(info *types.Info, call *ast.CallExpr) []ptrLeak {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fmtIdx, ok := fmtFormatArg[sel.Sel.Name]
+	if !ok || !isPkgFunc(info.Uses[sel.Sel], "fmt") {
+		return nil
+	}
+	var leaks []ptrLeak
+	firstOperand := fmtIdx + 1
+	if fmtIdx >= 0 && fmtIdx < len(call.Args) {
+		if format, ok := stringLiteral(info, call.Args[fmtIdx]); ok && strings.Contains(verbsOf(format), "p") {
+			leaks = append(leaks, ptrLeak{call.Args[fmtIdx].Pos(), "%p renders a virtual address; address bits are nondeterministic and must not reach trace/digest/table bytes"})
+		}
+	}
+	for _, arg := range call.Args[min(firstOperand, len(call.Args)):] {
+		tv, ok := info.Types[arg]
+		if !ok {
+			continue
+		}
+		if kind := leakyOperand(tv.Type); kind != "" {
+			leaks = append(leaks, ptrLeak{arg.Pos(), fmt.Sprintf("%s operand reaches fmt.%s: %s; extract and sort explicitly before rendering (canonical-bytes contract)", kind, sel.Sel.Name, leakWhy(kind))})
+		}
+	}
+	return leaks
+}
+
 // stringLiteral resolves arg to a compile-time string constant (literal
 // or named constant), if it is one.
-func stringLiteral(pass *Pass, arg ast.Expr) (string, bool) {
-	tv, ok := pass.Info.Types[arg]
+func stringLiteral(info *types.Info, arg ast.Expr) (string, bool) {
+	tv, ok := info.Types[arg]
 	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
 		return "", false
 	}

@@ -1,0 +1,25 @@
+// Package cliutil is the exempt-package half of the detflow fixture
+// tree: it is outside the deterministic set (no leaf analyzer runs
+// here), so nondeterminism can only be caught when taint flows across
+// the boundary into detflow/sim.
+package cliutil
+
+import "time"
+
+// LeakyNow hides a wall-clock read behind an exempt-package helper.
+func LeakyNow() int64 {
+	return time.Now().UnixNano()
+}
+
+// Chain adds a second laundering frame: detflow must carry the taint
+// through exempt-package-internal calls.
+func Chain() int64 {
+	return LeakyNow() + 1
+}
+
+// VettedNow's source is suppressed at the leaf, so the taint dies at
+// the root and deterministic callers stay clean of live taint.
+func VettedNow() int64 {
+	//detlint:ignore wallclock fixture: startup banner timestamp, never reaches canonical bytes
+	return time.Now().UnixNano()
+}

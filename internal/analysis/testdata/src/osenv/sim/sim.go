@@ -1,0 +1,34 @@
+// Package sim is an osenv fixture: deterministic by path.
+package sim
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// fromEnv derives output from the host environment: flagged.
+func fromEnv() string {
+	return os.Getenv("SEED") // want `os.Getenv reads ambient host state`
+}
+
+// enumerate derives output from filesystem shape: flagged.
+func enumerate(dir string) ([]string, error) {
+	return filepath.Glob(filepath.Join(dir, "*.trace")) // want `filepath.Glob reads ambient host state`
+}
+
+// listDir enumerates a directory: flagged.
+func listDir(dir string) ([]os.DirEntry, error) {
+	return os.ReadDir(dir) // want `os.ReadDir reads ambient host state`
+}
+
+// explicitRead reads a caller-named file: an explicit input, allowed
+// (the campaign checkpoint store depends on exactly this).
+func explicitRead(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// vetted carries a reasoned suppression: no diagnostic.
+func vetted() string {
+	//detlint:ignore osenv fixture: build-info stamp is excluded from canonical bytes
+	return os.Getenv("BUILD_STAMP")
+}

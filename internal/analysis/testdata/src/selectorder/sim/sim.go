@@ -1,0 +1,43 @@
+// Package sim is a selectorder fixture: its import path ends in /sim,
+// so it is classified deterministic.
+package sim
+
+// merge drains two channels with a scheduler-chosen branch: flagged.
+func merge(a, b chan int) int {
+	select { // want `select with multiple cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// poll counts a default clause as a case: "was the channel ready" is
+// scheduler timing, not seeded input.
+func poll(a chan int) int {
+	select { // want `select with multiple cases`
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// recv is an ordinary blocking receive dressed as a select: allowed.
+func recv(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// vetted carries a reasoned suppression: no diagnostic.
+func vetted(a, b chan int) int {
+	//detlint:ignore selectorder fixture: shutdown race is resolved before any canonical output
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

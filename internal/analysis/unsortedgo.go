@@ -2,8 +2,15 @@ package analysis
 
 import (
 	"go/ast"
-	"strings"
 )
+
+// sweepExempt reports whether pkgPath is internal/sweep (or a
+// subpackage): the one audited home for goroutine spawns, and therefore
+// also exempt from the spawn- and select-order taint sources detflow
+// tracks.
+func sweepExempt(pkgPath string) bool {
+	return hasSegment(pkgPath, "sweep")
+}
 
 // Unsortedgo flags go statements in deterministic packages. Goroutine
 // interleaving is scheduler-chosen, so any result that depends on it
@@ -21,7 +28,7 @@ var Unsortedgo = &Analyzer{
 		if !IsDeterministic(pass.PkgPath) {
 			return nil
 		}
-		if seg := pass.PkgPath; seg == "sweep" || strings.HasSuffix(seg, "/sweep") {
+		if sweepExempt(pass.PkgPath) {
 			return nil
 		}
 		for _, f := range pass.Files {
