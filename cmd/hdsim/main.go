@@ -24,6 +24,7 @@ func main() {
 	crashes := flag.String("crashes", "", "crash schedule pid:time[,pid:time...]")
 	churn := flag.String("churn", "", "crash-recovery churn fraction[:cycles[:down[:up]]], stagger fixed at 7 (all algorithms; consensus runs the rejoin protocol)")
 	netSpec := flag.String("net", "", "network model spec (overrides -gst/-delta; see doc comment)")
+	partitions := flag.String("partition", "", "partition schedule from-to@cut[,from-to@cut...]: during [from,to) links crossing pid cut are severed")
 	seed := flag.Int64("seed", 1, "random seed (first seed of a sweep)")
 	seeds := flag.Int("seeds", 1, "number of consecutive seeds to sweep")
 	workers := flag.Int("workers", 0, "sweep parallelism (0 = all cores, 1 = serial)")
@@ -129,6 +130,25 @@ func main() {
 		if net, err = cliutil.ParseNet(*netSpec); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if *partitions != "" {
+		ws, err := cliutil.ParsePartitions(*partitions)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cliutil.ValidatePartitionN(ws, *n); err != nil {
+			log.Fatal(err)
+		}
+		// Horizon validation runs against the horizon the run will actually
+		// use; 0 means "algorithm default", which every algorithm sets far
+		// beyond any sane window schedule, so only an explicit -horizon is
+		// checked here (consensus re-checks against its expanded default).
+		if *horizon > 0 {
+			if err := cliutil.ValidatePartitionHorizon(ws, *horizon); err != nil {
+				log.Fatal(err)
+			}
+		}
+		net = sim.Partition{Base: net, Windows: ws}
 	}
 	adv := map[string]oracle.Adversary{
 		"none": oracle.AdversaryNone, "rotate": oracle.AdversaryRotate, "split": oracle.AdversarySplit,

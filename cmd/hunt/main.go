@@ -1,0 +1,185 @@
+// Command hunt is the scenario fuzzer's CLI: coverage-guided campaigns
+// over the repository's verified runners, deterministic find/shrink logs,
+// and corpus maintenance (replay, pin, export).
+//
+// Modes:
+//
+//	hunt -budget 200 -seed 1 [-out dir]    fuzz; write minimized findings as corpus entries
+//	hunt -replay dir-or-file               replay corpus entries against pinned verdicts
+//	hunt -run scenario.json                run one scenario (or corpus entry) and print its verdict
+//	hunt -pin entry.json                   re-run an entry and rewrite it with the current verdict
+//
+// Campaign determinism: the same -seed and -budget produce byte-identical
+// logs and findings at any -workers value (see internal/hunt's package
+// doc). Logs go to stdout; timestamps never appear in them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/hunt"
+	"repro/internal/sweep"
+)
+
+func main() {
+	budget := flag.Int("budget", 200, "scenario executions to spend exploring (excludes shrink runs)")
+	seed := flag.Int64("seed", 1, "campaign master seed (drives every mutation draw)")
+	batch := flag.Int("batch", 16, "mutants per generation")
+	workers := flag.Int("workers", 0, "execution parallelism (0 = all cores, 1 = serial); never changes results")
+	out := flag.String("out", "", "directory to write minimized findings as corpus entries (fuzz mode)")
+	replay := flag.String("replay", "", "replay corpus entries from this file or directory")
+	run := flag.String("run", "", "run one scenario or corpus-entry JSON file and print the verdict")
+	pin := flag.String("pin", "", "re-run a corpus entry and rewrite its pinned verdict in place")
+	flag.Parse()
+	sweep.SetDefaultWorkers(*workers)
+
+	switch {
+	case *replay != "":
+		replayCorpus(*replay)
+	case *run != "":
+		runOne(*run)
+	case *pin != "":
+		pinEntry(*pin)
+	default:
+		fuzz(*budget, *seed, *batch, *out)
+	}
+}
+
+func fuzz(budget int, seed int64, batch int, out string) {
+	res := hunt.Fuzz(hunt.FuzzConfig{
+		MasterSeed: seed,
+		Budget:     budget,
+		BatchSize:  batch,
+		Log:        os.Stdout,
+	})
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i, f := range res.Findings {
+			e := hunt.Entry{
+				Name:     fmt.Sprintf("%s-%s-%d", f.Minimal.Kind, f.Class, i),
+				Note:     fmt.Sprintf("found by hunt -seed %d; shrunk %d->%d; original: %s", seed, f.ShrunkFrom, f.ShrunkTo, f.Scenario.Fingerprint()),
+				Scenario: f.Minimal,
+				Want:     f.MinimalOutcome,
+			}
+			b, err := hunt.EncodeEntry(e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(out, e.Name+".json")
+			if err := os.WriteFile(path, b, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// corpusFiles expands a file-or-directory path into the sorted list of
+// its .json entries.
+func corpusFiles(path string) []string {
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !info.IsDir() {
+		return []string{path}
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			files = append(files, filepath.Join(path, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		log.Fatalf("no corpus entries (*.json) under %s", path)
+	}
+	return files
+}
+
+func replayCorpus(path string) {
+	failures := 0
+	for _, file := range corpusFiles(path) {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e, err := hunt.DecodeEntry(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := hunt.Replay(e); err != nil {
+			failures++
+			fmt.Printf("✗ %s\n  %v\n", e.Name, err)
+			continue
+		}
+		fmt.Printf("✓ %s — %s\n", e.Name, e.Want)
+	}
+	if failures > 0 {
+		log.Fatalf("%d corpus entries drifted", failures)
+	}
+}
+
+// loadScenario reads either a bare Scenario or a full corpus Entry.
+func loadScenario(file string) hunt.Scenario {
+	b, err := os.ReadFile(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if e, err := hunt.DecodeEntry(b); err == nil {
+		return e.Scenario
+	}
+	var s hunt.Scenario
+	if err := json.Unmarshal(b, &s); err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	return s
+}
+
+func runOne(file string) {
+	s := loadScenario(file)
+	o := s.Run()
+	fmt.Printf("%s\n%s\n", s.Fingerprint(), o.Verdict)
+	if o.Failed() {
+		os.Exit(1)
+	}
+}
+
+func pinEntry(file string) {
+	b, err := os.ReadFile(file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e, err := hunt.DecodeEntry(b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e.Want = e.Scenario.Run().Verdict
+	nb, err := hunt.EncodeEntry(e)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(file, nb, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pinned %s — %s\n", e.Name, e.Want)
+}

@@ -108,6 +108,7 @@ var deterministicSegments = map[string]bool{
 	"experiments": true,
 	"multiset":    true,
 	"reduce":      true,
+	"hunt":        true,
 }
 
 // IsDeterministic reports whether the package at the given import path is

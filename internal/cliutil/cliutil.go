@@ -123,11 +123,12 @@ func ParseCrashes(s string) (map[sim.PID]sim.Time, error) {
 //	lognormal[:sigma[:cap]]     truncated heavy tail (log-normal, median 3)
 //	alt[:period[:calmAfter]]    time-varying partial synchrony
 //	asym[:maxSkew]              per-link asymmetric skew over async
+//	lossy[:p[:maxDelay]]        iid per-copy loss over async
 func ParseNet(spec string) (sim.Model, error) {
 	parts := strings.Split(strings.TrimSpace(spec), ":")
 	name, args := parts[0], parts[1:]
 	maxArgs := map[string]int{
-		"async": 1, "psync": 2, "timely": 1, "pareto": 2, "lognormal": 2, "alt": 2, "asym": 1,
+		"async": 1, "psync": 2, "timely": 1, "pareto": 2, "lognormal": 2, "alt": 2, "asym": 1, "lossy": 2,
 	}
 	if max, known := maxArgs[name]; known && len(args) > max {
 		return nil, fmt.Errorf("too many fields in net spec %q (%s takes at most %d)", spec, name, max)
@@ -228,8 +229,88 @@ func ParseNet(spec string) (sim.Model, error) {
 			return nil, fmt.Errorf("bad asym spec %q: maxSkew %d, want >= 1", spec, skew)
 		}
 		return sim.AsymmetricLinks{Base: sim.Async{MaxDelay: 6}, MaxSkew: skew}, nil
+	case "lossy":
+		p, err1 := fnum(0, 0.2)
+		max, err2 := num(1, 8)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad lossy spec %q (want lossy[:p[:maxDelay]])", spec)
+		}
+		// The upper bound matters as much as the lower: p >= MaxLossP would
+		// be clamped by the model, silently running a different scenario —
+		// and p = 1 would kill every link, which no liveness checker can
+		// tell apart from a protocol bug.
+		if p < 0 || p >= sim.MaxLossP {
+			return nil, fmt.Errorf("bad lossy spec %q: p %v, want 0 <= p < %v", spec, p, sim.MaxLossP)
+		}
+		if max < 1 {
+			return nil, fmt.Errorf("bad lossy spec %q: maxDelay %d, want >= 1", spec, max)
+		}
+		return sim.Lossy{Base: sim.Async{MaxDelay: max}, P: p}, nil
 	}
-	return nil, fmt.Errorf("unknown network %q (want async, psync, timely, pareto, lognormal, alt, or asym)", name)
+	return nil, fmt.Errorf("unknown network %q (want async, psync, timely, pareto, lognormal, alt, asym, or lossy)", name)
+}
+
+// ParsePartitions parses a partition schedule of the form
+// "from-to@cut[,from-to@cut...]", e.g. "20-60@3,100-140@2": during virtual
+// time [from, to) the population splits into {p < cut} and {p >= cut} and
+// cross-cut copies are lost. An empty or blank string yields no windows.
+// Mirroring ParseChurn/ParseCrashes, every field is range-checked at the
+// flag boundary: from >= 0, to > from, cut >= 1 (a cut of 0 severs
+// nothing and is always a typo).
+func ParsePartitions(s string) ([]sim.PartitionWindow, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []sim.PartitionWindow
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		span, cutStr, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("bad partition window %q (want from-to@cut)", part)
+		}
+		fromStr, toStr, ok := strings.Cut(span, "-")
+		if !ok {
+			return nil, fmt.Errorf("bad partition window %q (want from-to@cut)", part)
+		}
+		from, err := strconv.ParseInt(fromStr, 10, 64)
+		if err != nil || from < 0 {
+			return nil, fmt.Errorf("bad partition start in %q (want a non-negative integer)", part)
+		}
+		to, err := strconv.ParseInt(toStr, 10, 64)
+		if err != nil || to <= from {
+			return nil, fmt.Errorf("bad partition end in %q (want an integer > the start)", part)
+		}
+		cut, err := strconv.Atoi(cutStr)
+		if err != nil || cut < 1 {
+			return nil, fmt.Errorf("bad partition cut in %q (want an integer >= 1)", part)
+		}
+		out = append(out, sim.PartitionWindow{From: from, To: to, Cut: sim.PID(cut)})
+	}
+	return out, nil
+}
+
+// ValidatePartitionN checks a partition schedule against the system size:
+// a cut at or beyond n puts every process on one side, so the window
+// severs nothing — like an oversized -beaters, always a misassembled
+// command line rather than a scenario.
+func ValidatePartitionN(ws []sim.PartitionWindow, n int) error {
+	for _, w := range ws {
+		if int(w.Cut) >= n {
+			return fmt.Errorf("partition cut %d does not split n=%d processes (want 1 <= cut < n)", w.Cut, n)
+		}
+	}
+	return nil
+}
+
+// ValidatePartitionHorizon rejects schedules with a window still open at
+// the horizon, exactly like a churn schedule whose last event the horizon
+// truncates: the run would verify a permanently partitioned system nobody
+// asked for.
+func ValidatePartitionHorizon(ws []sim.PartitionWindow, horizon sim.Time) error {
+	if last := sim.LastWindowEnd(ws); len(ws) > 0 && last >= horizon {
+		return fmt.Errorf("the partition schedule's last window ends at t=%d, not before the horizon %d — the network would never heal inside the run", last, horizon)
+	}
+	return nil
 }
 
 // ParseChurn parses a crash-recovery churn spec of the form

@@ -185,6 +185,128 @@ func TestParseChurn(t *testing.T) {
 	}
 }
 
+// TestParseNetLossy pins the first-class loss model's spec: good forms,
+// boundary values, and the MaxLossP rejection (the model would clamp, and
+// clamping at the CLI boundary is exactly the silent-scenario-skew bug
+// class ParseNet exists to prevent).
+func TestParseNetLossy(t *testing.T) {
+	good := []struct {
+		in   string
+		want string
+	}{
+		{"lossy", "lossy[p=0.20 async[1..8]]"},
+		{"lossy:0.5", "lossy[p=0.50 async[1..8]]"},
+		{"lossy:0.5:12", "lossy[p=0.50 async[1..12]]"},
+		{"lossy:0", "lossy[p=0.00 async[1..8]]"},     // boundary: lossless
+		{"lossy:0.89", "lossy[p=0.89 async[1..8]]"},  // boundary: just under MaxLossP
+		{"lossy:0.2:1", "lossy[p=0.20 async[1..1]]"}, // boundary: minimum delay
+	}
+	for _, tt := range good {
+		m, err := ParseNet(tt.in)
+		if err != nil {
+			t.Errorf("ParseNet(%q): %v", tt.in, err)
+			continue
+		}
+		if m.String() != tt.want {
+			t.Errorf("ParseNet(%q) = %s, want %s", tt.in, m, tt.want)
+		}
+	}
+	for _, bad := range []string{
+		"lossy:x", "lossy:0.2:y", // malformed numbers
+		"lossy:-0.1",                        // negative probability
+		"lossy:0.9", "lossy:1", "lossy:1.5", // at or above MaxLossP: would clamp
+		"lossy:0.2:0", "lossy:0.2:-3", // out-of-range base delay
+		"lossy:0.2:8:9", // extra field
+	} {
+		if m, err := ParseNet(bad); err == nil {
+			t.Errorf("ParseNet(%q) = %v, want error", bad, m)
+		}
+	}
+}
+
+// TestParsePartitions covers the partition-schedule flag end to end: the
+// happy path, blank input, and every malformed-field error path (matching
+// the ParseChurn/ParseCrashes precedent).
+func TestParsePartitions(t *testing.T) {
+	ws, err := ParsePartitions("20-60@3,100-140@2")
+	if err != nil {
+		t.Fatalf("ParsePartitions: %v", err)
+	}
+	want := []sim.PartitionWindow{{From: 20, To: 60, Cut: 3}, {From: 100, To: 140, Cut: 2}}
+	if len(ws) != 2 || ws[0] != want[0] || ws[1] != want[1] {
+		t.Fatalf("ParsePartitions = %+v, want %+v", ws, want)
+	}
+	if ws, err := ParsePartitions("  "); err != nil || ws != nil {
+		t.Fatalf("ParsePartitions(blank) = %+v, %v", ws, err)
+	}
+	if ws, err := ParsePartitions(" 0-1@1 "); err != nil || len(ws) != 1 {
+		// Boundary: earliest possible start, shortest possible window,
+		// smallest possible cut.
+		t.Fatalf("ParsePartitions(0-1@1) = %+v, %v", ws, err)
+	}
+	for _, bad := range []string{
+		"20-60",       // missing cut
+		"20@3",        // missing span
+		"x-60@3",      // malformed start
+		"20-y@3",      // malformed end
+		"20-60@z",     // malformed cut
+		"-5-60@3",     // negative start
+		"20-20@3",     // empty window (to == from)
+		"60-20@3",     // inverted window
+		"20-60@0",     // cut 0 severs nothing
+		"20-60@-2",    // negative cut
+		"20-60@3,,",   // empty trailing entry
+		"20-60@3 4-5", // garbage second entry
+	} {
+		if ws, err := ParsePartitions(bad); err == nil {
+			t.Errorf("ParsePartitions(%q) = %+v, want error", bad, ws)
+		}
+	}
+}
+
+// TestValidatePartitionN pins the cut-vs-population check: a cut at or
+// beyond n puts everyone on one side.
+func TestValidatePartitionN(t *testing.T) {
+	ws := []sim.PartitionWindow{{From: 10, To: 20, Cut: 3}}
+	if err := ValidatePartitionN(ws, 5); err != nil {
+		t.Errorf("cut 3 of n=5: %v, want nil", err)
+	}
+	if err := ValidatePartitionN(ws, 4); err != nil {
+		t.Errorf("cut 3 of n=4 (boundary): %v, want nil", err)
+	}
+	if err := ValidatePartitionN(ws, 3); err == nil {
+		t.Error("cut 3 of n=3 severs nothing, want error")
+	}
+	if err := ValidatePartitionN(ws, 2); err == nil {
+		t.Error("cut 3 of n=2 severs nothing, want error")
+	}
+	if err := ValidatePartitionN(nil, 1); err != nil {
+		t.Errorf("empty schedule: %v, want nil", err)
+	}
+}
+
+// TestValidatePartitionHorizon pins the truncating-horizon check: a window
+// still open at the horizon means the network never heals inside the run,
+// exactly like a churn schedule the horizon cuts short.
+func TestValidatePartitionHorizon(t *testing.T) {
+	ws := []sim.PartitionWindow{{From: 10, To: 60, Cut: 2}, {From: 70, To: 90, Cut: 2}}
+	if err := ValidatePartitionHorizon(ws, 100); err != nil {
+		t.Errorf("horizon 100 > last end 90: %v, want nil", err)
+	}
+	if err := ValidatePartitionHorizon(ws, 91); err != nil {
+		t.Errorf("horizon 91 (boundary: strictly after the last end): %v, want nil", err)
+	}
+	if err := ValidatePartitionHorizon(ws, 90); err == nil {
+		t.Error("horizon 90 == last end truncates the heal, want error")
+	}
+	if err := ValidatePartitionHorizon(ws, 50); err == nil {
+		t.Error("horizon 50 leaves a window open, want error")
+	}
+	if err := ValidatePartitionHorizon(nil, 1); err != nil {
+		t.Errorf("empty schedule: %v, want nil", err)
+	}
+}
+
 func TestParseNetRejectsExtraFields(t *testing.T) {
 	for _, bad := range []string{"async:8:9", "asym:5:9", "psync:50:3:7", "timely:1:2"} {
 		if m, err := ParseNet(bad); err == nil {

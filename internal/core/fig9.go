@@ -253,7 +253,7 @@ func (c *Fig9) onRejoinAck(m RejoinAckMsg) {
 		// Phase 1 concluded elsewhere (lines 23–24, ack-carried).
 		c.est2 = m.Est2
 		c.enterPhase2()
-	case c.phase == fig9Phase(m.Phase) && (c.phase == f9Ph1 || c.phase == f9Ph2) && m.SR > c.sr:
+	case c.phase == fig9Phase(m.Phase) && (c.phase == f9Ph1 || c.phase == f9Ph2) && m.SR > c.sr && wedgeCanary != "wedge":
 		c.sr = m.SR
 		c.currentLabels = c.d2.Labels()
 		if c.phase == f9Ph1 {
@@ -275,7 +275,10 @@ func (c *Fig9) onRejoinAck(m RejoinAckMsg) {
 // eventually-up process, so a single wedged rejoiner would wedge the whole
 // system.
 func (c *Fig9) maybeResync(round int, est Value, adopt bool) {
-	if !c.rejoining || c.outcome.Decided {
+	if !c.rejoining || c.outcome.Decided || wedgeCanary == "wedge" {
+		// The wedgeCanary escape is CI-only: a canary build disables the
+		// whole resync exchange to recreate the pre-fix rejoin wedge and
+		// prove the scenario hunter still catches this bug class.
 		return
 	}
 	switch {

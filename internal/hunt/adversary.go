@@ -1,0 +1,110 @@
+package hunt
+
+import "repro/internal/sim"
+
+// StructuredSeeds are the explicit adversary's opening moves: scenarios
+// aimed at the algorithms' structure rather than drawn blind. Balanced
+// identity assignments are contiguous, so the leader group — the
+// processes sharing the smallest identifier, which both figures' Leaders'
+// Coordination Phase depends on — is exactly the first ceil(n/l) indexes.
+// That makes it crashable (crash entries over the prefix), churnable (a
+// fraction covering the prefix), and partitionable (a cut at the group
+// boundary) with three integers each.
+//
+// Every seed passes through Sanitize, so the list stays admissible even
+// as the runners' validation tightens. Seeds come first in the fuzzer's
+// corpus: they are executed before any random mutant, so a structural
+// regression (like the PR-5 leader-group wedge) is found inside the first
+// generation of any campaign.
+func StructuredSeeds() []Scenario {
+	var out []Scenario
+
+	// The calm baselines, one per kind: coverage anchors that also catch
+	// "breaks with no faults at all" regressions.
+	for _, kind := range Kinds {
+		out = append(out, Scenario{Kind: kind, N: 6, L: 3, T: 2, Seed: 1})
+	}
+
+	// The PR-5 wedge class: churn the whole leader group with staggered
+	// recovery, so a jumping leader must re-emit the coordination messages
+	// of the round it lands in or the everyone-quorums wedge. The exact
+	// E20 row that exposed it (fig9, Balanced(6,3), 34% churn, seed 4).
+	out = append(out,
+		Scenario{
+			Kind: "fig9", N: 6, L: 3, Seed: 4,
+			Churn: sim.ChurnSpec{Fraction: 0.34, Cycles: 1, Start: 2, Down: 60, Stagger: 7},
+		},
+		Scenario{
+			Kind: "fig8", N: 6, L: 3, T: 2, Seed: 4,
+			Churn: sim.ChurnSpec{Fraction: 0.34, Cycles: 1, Start: 2, Down: 60, Stagger: 7},
+		},
+	)
+
+	// Strand a rejoiner mid-round under stable labels: crash the leader
+	// inside round one's phase traffic (Start=1 lands between its COORD
+	// broadcast and the phase-1 quorum), with the oracle pinned early
+	// (Stabilize=1, no adversary) so no label change ever nudges the
+	// sub-round forward. Recovery then depends entirely on the resync
+	// path — the narrowest reproduction of the PR-5 wedge class.
+	out = append(out, Scenario{
+		Kind: "fig9", N: 6, L: 3, Seed: 1, Adversary: "none", Stabilize: 1,
+		Churn: sim.ChurnSpec{Fraction: 0.17, Cycles: 1, Start: 1, Down: 60},
+	})
+
+	// Crash the current leader group: crash-stop the full smallest-ID
+	// prefix early, forcing the leadership to jump groups while the first
+	// rounds are in flight.
+	for _, kind := range []string{"fig8", "fig9"} {
+		n, l := 7, 3
+		group := (n + l - 1) / l // ceil(n/l): the leader group's extent
+		s := Scenario{Kind: kind, N: n, L: l, T: group, Seed: 1}
+		for p := 0; p < group; p++ {
+			s.Crashes = append(s.Crashes, CrashEntry{P: sim.PID(p), At: sim.Time(10 + 5*p)})
+		}
+		out = append(out, s)
+	}
+
+	// Crash the forming HΣ quorum: take down just under half the
+	// population while the first quorums assemble, with the split
+	// adversary feeding different leaders to different processes.
+	out = append(out, Scenario{
+		Kind: "fig9", N: 8, L: 4, Seed: 1, Adversary: "split",
+		Crashes: []CrashEntry{{P: 1, At: 8}, {P: 3, At: 12}, {P: 5, At: 16}},
+	})
+
+	// Partition the coordinator at phase boundaries: sever the leader
+	// group from the rest across the first rounds' phase transitions,
+	// healing before the horizon so termination stays owed.
+	for _, kind := range []string{"fig8", "fig9", "fig9-anon"} {
+		n, l := 6, 3
+		cut := sim.PID((n + l - 1) / l)
+		out = append(out, Scenario{
+			Kind: kind, N: n, L: l, T: 2, Seed: 1,
+			Partitions: []sim.PartitionWindow{
+				{From: 5, To: 30, Cut: cut},
+				{From: 45, To: 70, Cut: cut},
+			},
+		})
+	}
+
+	// Leader group under loss: the coordination phase on fair-lossy links.
+	out = append(out, Scenario{Kind: "fig9", N: 6, L: 2, Seed: 1, Net: "lossy:0.4:6"})
+
+	// Detector and heartbeat churn stressors: rejoin depth and fault
+	// bookkeeping under repeated staggered cycles.
+	out = append(out,
+		Scenario{
+			Kind: "ohp", N: 6, L: 3, Seed: 1,
+			Churn: sim.ChurnSpec{Fraction: 0.5, Cycles: 2, Stagger: 9},
+		},
+		Scenario{
+			Kind: "heartbeat", N: 8, L: 4, Seed: 1,
+			Churn: sim.ChurnSpec{Fraction: 0.5, Cycles: 2, Stagger: 5},
+		},
+	)
+
+	for i := range out {
+		out[i] = Sanitize(out[i])
+	}
+	return out
+}

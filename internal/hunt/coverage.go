@@ -1,0 +1,39 @@
+package hunt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CoverageKey buckets an outcome into a behavioural signature. The fuzzer
+// keeps one corpus member per key, so the key's granularity is the
+// exploration pressure: coarse enough that noise (exact delivery counts)
+// collapses, fine enough that a new failure class, a deeper round, a new
+// stop reason, or an order-of-magnitude shift in traffic all register as
+// novel.
+func CoverageKey(kind string, o Outcome) string {
+	verdict := "PASS"
+	if !o.OK {
+		verdict = o.Class
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "k=%s v=%s stop=%s r=%d", kind, verdict, o.Stop, o.Round)
+	fmt.Fprintf(&b, " b=%d d=%d x=%d c=%d rc=%d dec=%d",
+		logBucket(o.Stats.Broadcasts), logBucket(o.Stats.Delivered), logBucket(o.Stats.Dropped),
+		logBucket(o.Stats.Crashes), logBucket(o.Stats.Recoveries), logBucket(o.Stats.Decisions))
+	return b.String()
+}
+
+// logBucket maps a count to its order of magnitude (base 2): 0→0, 1→1,
+// 2-3→2, 4-7→3, … so counts differing by less than 2× share a bucket.
+func logBucket(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := 1
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

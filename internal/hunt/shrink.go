@@ -1,0 +1,139 @@
+package hunt
+
+import "repro/internal/sim"
+
+// Shrink delta-debugs a failing scenario to a local minimum: a scenario
+// that still fails with the same class but where no single candidate
+// reduction preserves the failure. The oracle runs candidates (injectable
+// so tests can count executions or fake outcomes; the fuzzer passes
+// Scenario.Run).
+//
+// The algorithm is greedy to a fixed point over a deterministic candidate
+// order. Soundness leans on two facts, both test-pinned:
+//
+//   - every accepted candidate is strictly smaller under Scenario.Size,
+//     so the loop terminates and the result never grows;
+//   - a candidate is accepted only if its outcome fails with the same
+//     class as the original, so the minimal scenario witnesses the same
+//     failure signature the fuzzer found.
+//
+// Determinism is free: candidates are generated in a fixed order from the
+// current scenario, the oracle is a pure function, and ties cannot occur
+// (the first acceptable candidate restarts the scan). The same failing
+// input always shrinks to the same minimal scenario.
+func Shrink(s Scenario, oracle func(Scenario) Outcome) (Scenario, Outcome) {
+	cur := s.Clone()
+	curOut := oracle(cur)
+	if !curOut.Failed() {
+		return cur, curOut
+	}
+	class := curOut.Class
+	for {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if cand.Size() >= cur.Size() {
+				continue // the reduction was a no-op on this scenario
+			}
+			if o := oracle(cand); o.Failed() && o.Class == class {
+				cur, curOut = cand, o
+				improved = true
+				break // restart the scan from the smaller scenario
+			}
+		}
+		if !improved {
+			return cur, curOut
+		}
+	}
+}
+
+// candidates enumerates the single-step reductions of s, in the order the
+// shrinker tries them: structural deletions first (they shrink Size the
+// most), then knob resets, then magnitude reductions. Every candidate is
+// sanitized, so a reduction that breaks admissibility is repaired rather
+// than run invalid — and if repair makes it no smaller, Shrink skips it.
+func candidates(s Scenario) []Scenario {
+	var out []Scenario
+	add := func(c Scenario) { out = append(out, Sanitize(c)) }
+
+	// Drop one crash entry.
+	for i := range s.Crashes {
+		c := s.Clone()
+		c.Crashes = append(c.Crashes[:i], c.Crashes[i+1:]...)
+		add(c)
+	}
+	// Drop one partition window.
+	for i := range s.Partitions {
+		c := s.Clone()
+		c.Partitions = append(c.Partitions[:i], c.Partitions[i+1:]...)
+		add(c)
+	}
+	// Disable churn outright, then soften it.
+	if s.Churn.Fraction > 0 {
+		c := s.Clone()
+		c.Churn = sim.ChurnSpec{}
+		add(c)
+		if s.Churn.Cycles > 1 {
+			c = s.Clone()
+			c.Churn.Cycles = 1
+			add(c)
+		}
+		if s.Churn.FinalDown {
+			c = s.Clone()
+			c.Churn.FinalDown = false
+			add(c)
+		}
+		if s.Churn.Stagger > 0 {
+			c = s.Clone()
+			c.Churn.Stagger = 0
+			add(c)
+		}
+		if s.Churn.Down > 20 {
+			c = s.Clone()
+			c.Churn.Down = 20
+			add(c)
+		}
+		if s.Churn.Up > 30 {
+			c = s.Clone()
+			c.Churn.Up = 30
+			add(c)
+		}
+	}
+	// Fewer processes, fewer identifiers.
+	if s.N > minN {
+		c := s.Clone()
+		c.N = s.N - 1
+		add(c)
+	}
+	if s.L > 1 {
+		c := s.Clone()
+		c.L = s.L - 1
+		add(c)
+	}
+	// Knob resets back to runner defaults.
+	if s.Net != "" {
+		c := s.Clone()
+		c.Net = ""
+		add(c)
+	}
+	if s.Adversary != "" && s.Adversary != "rotate" {
+		c := s.Clone()
+		c.Adversary = ""
+		add(c)
+	}
+	if s.Stabilize != 0 {
+		c := s.Clone()
+		c.Stabilize = 0
+		add(c)
+	}
+	if s.Horizon != 0 {
+		c := s.Clone()
+		c.Horizon = 0
+		add(c)
+	}
+	if s.Period != 0 {
+		c := s.Clone()
+		c.Period = 0
+		add(c)
+	}
+	return out
+}

@@ -109,7 +109,8 @@ func requireIdentical(t *testing.T, lazy, eager *Engine, lazyRec, eagerRec *trac
 
 // TestLazyFanoutMatchesEager is the lazy path's differential oracle: over
 // every network model family — uniform, partially synchronous with loss,
-// deterministic, heavy-tailed, oscillating, per-link asymmetric — a
+// deterministic, heavy-tailed, oscillating, per-link asymmetric, lossy,
+// partitioned — a
 // churn-heavy run under lazy fan-out must be byte-identical in trace (and
 // equal in all engine observables) to the same run under eager expansion.
 func TestLazyFanoutMatchesEager(t *testing.T) {
@@ -121,6 +122,13 @@ func TestLazyFanoutMatchesEager(t *testing.T) {
 		LogNormal{Median: 3, Sigma: 1, Cap: 40},
 		Alternating{Period: 15, GoodDelta: 3, BadMax: 20, BadLoss: 0.25, CalmAfter: 45},
 		AsymmetricLinks{Base: Async{MaxDelay: 5}, MaxSkew: 6},
+		Lossy{Base: Async{MaxDelay: 6}, P: 0.3},
+		Partition{Base: Async{MaxDelay: 6}, Windows: []PartitionWindow{
+			{From: 10, To: 25, Cut: 8}, {From: 35, To: 50, Cut: 15},
+		}},
+		Partition{Base: AsymmetricLinks{Base: Async{MaxDelay: 5}, MaxSkew: 6}, Windows: []PartitionWindow{
+			{From: 5, To: 40, Cut: 11},
+		}},
 	}
 	for _, net := range nets {
 		net := net
