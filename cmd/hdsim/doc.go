@@ -44,7 +44,21 @@
 // bytes/event, decoded with trace.ReadBinary). Either way the trace is
 // spilled in batches of -trace-buf events (negative values are rejected),
 // so even a multi-million-event run traces in constant memory. Single
-// runs only.
+// runs only. Binary traces embed the full scenario fingerprint and a
+// seekable frame index (internal/trace v2 format).
+//
+// -replay FILE re-verifies a recorded run offline from its binary trace:
+//
+//	go run ./cmd/hdsim -algo fig8 -churn 0.4:1 -trace run.bin -trace-format binary
+//	go run ./cmd/hdsim -replay run.bin
+//
+// No engine runs — the scenario is reconstructed from the fingerprint
+// embedded in the trace (every other flag is ignored), the checkers
+// consume the recorded events, and the verdict report is byte-identical
+// to the live run's apart from engine-only counters. Replay streams the
+// trace eventwise, so population-scale runs re-verify in constant
+// memory. See also cmd/tracediff for localizing the first divergent
+// event between two recorded traces.
 //
 // With -seeds k > 1 the same scenario is swept over k consecutive seeds in
 // parallel across all cores (deterministically: the report is identical

@@ -11,6 +11,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cliutil"
 	"repro/internal/fd/oracle"
+	"repro/internal/replay"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -38,11 +39,28 @@ func main() {
 	beaters := flag.Int("beaters", 0, "how many processes beat, the rest listen (heartbeat only; 0 = all n)")
 	maxEvents := flag.Int("max-events", 0, "override the engine's runaway-guard event cap (0 = engine default)")
 	tracePath := flag.String("trace", "", "stream the full event trace to this file (single runs only)")
+	replayPath := flag.String("replay", "", "re-verify a recorded run offline from its v2 binary trace (engine-free; every other scenario flag is ignored — the trace's embedded fingerprint wins)")
 	traceBuf := flag.Int("trace-buf", 0, "trace spill batch size in events (0 = default 4096)")
 	traceFormat := flag.String("trace-format", "text", "trace encoding: text (canonical lines) or binary (compact varint stream, decode with trace.ReadBinary)")
 	campaignFlags := cliutil.CampaignFlags(flag.CommandLine)
 	flag.Parse()
 	sweep.SetDefaultWorkers(*workers)
+
+	if *replayPath != "" {
+		runReplay(*replayPath)
+		return
+	}
+
+	// meta is the scenario fingerprint stamped on binary traces: the flag
+	// surface verbatim, so offline replay resolves it through the same
+	// parsers and defaulting rules this run is about to use.
+	meta := &trace.Meta{
+		Algo: *algo, N: *n, L: *l, T: *t,
+		Crashes: *crashes, Churn: *churn, Net: *netSpec, Partitions: *partitions,
+		GST: *gst, Delta: *delta, Seed: *seed,
+		Stabilize: *stabilize, Adversary: *adversary, Detectors: *detectors,
+		Horizon: *horizon, Period: *period, Beaters: *beaters, MaxEvents: *maxEvents,
+	}
 
 	// The trace is spilled in batches through a trace.Sink, so a huge
 	// run's trace streams to disk in constant memory instead of
@@ -75,7 +93,9 @@ func main() {
 		case "text":
 			sink = trace.NewWriterSink(f)
 		case "binary":
-			sink = trace.NewBinarySink(f)
+			bs := trace.NewBinarySink(f)
+			bs.SetMeta(meta)
+			sink = bs
 		default:
 			log.Fatalf("-trace-format %q: want text or binary", *traceFormat)
 		}
@@ -158,7 +178,7 @@ func main() {
 		if *seeds > 1 {
 			log.Fatal("-seeds > 1 is not supported with -algo ohp; sweep seeds with the consensus algorithms or via internal/sweep")
 		}
-		runOHP(ids, net, *netSpec != "" || *gst > 0, sched, churnSpec, *gst, *delta, *seed, *horizon, traceRec)
+		runOHP(meta, ids, net, *netSpec != "" || *gst > 0, sched, churnSpec, *gst, *delta, *seed, *horizon, traceRec)
 		closeTrace()
 		return
 	}
@@ -169,7 +189,7 @@ func main() {
 		if len(sched) > 0 {
 			log.Fatal("-algo heartbeat takes a -churn spec, not -crashes")
 		}
-		runHeartbeat(ids, net, churnSpec, *period, *beaters, *maxEvents, *seed, *horizon, traceRec)
+		runHeartbeat(meta, ids, net, churnSpec, *period, *beaters, *maxEvents, *seed, *horizon, traceRec)
 		closeTrace()
 		return
 	}
@@ -241,29 +261,21 @@ func main() {
 		return
 	}
 
-	fmt.Printf("algo=%s n=%d ℓ=%d ids=%v crashes=%s churn=%s seed=%d\n", *algo, *n, *l, ids, *crashes, *churn, *seed)
+	replay.WriteConsensusHeader(os.Stdout, &replay.Scenario{Meta: meta, IDs: ids})
 	rep, stats, err := runOne(*seed)
 	if err != nil {
 		fatalf("verification failed: %v", err)
 	}
 
+	var ci *replay.ChurnInfo
 	if churnRes != nil {
-		fmt.Println("consensus verified ✔ (termination over the eventually-up set, validity, agreement, decision stability)")
-	} else {
-		fmt.Println("consensus verified ✔ (termination, validity, agreement)")
+		ci = &replay.ChurnInfo{
+			EventuallyUp: churnRes.EventuallyUp, Correct: churnRes.Correct,
+			Recoveries: churnRes.Recoveries, LastChange: churnRes.LastChange,
+			DecideAfterChurn: churnRes.DecideAfterChurn,
+		}
 	}
-	fmt.Printf("  decided value:    %q\n", rep.Value)
-	fmt.Printf("  deciders:         %d\n", rep.Deciders)
-	fmt.Printf("  rounds:           %d\n", rep.MaxRound)
-	fmt.Printf("  decisions span:   t=%d .. t=%d\n", rep.FirstDecision, rep.LastDecision)
-	if churnRes != nil {
-		fmt.Printf("  eventually up:    %d/%d (correct in the strict sense: %d)\n", churnRes.EventuallyUp, *n, churnRes.Correct)
-		fmt.Printf("  recoveries:       %d\n", churnRes.Recoveries)
-		fmt.Printf("  last churn event: t=%d\n", churnRes.LastChange)
-		fmt.Printf("  decide after churn: +%d\n", churnRes.DecideAfterChurn)
-	}
-	fmt.Printf("  broadcasts:       %d total — %s\n", stats.Broadcasts, cliutil.FormatTagCounts(stats.ByTag))
-	fmt.Printf("  deliveries/drops: %d/%d\n", stats.Delivered, stats.Dropped)
+	replay.WriteConsensusBlock(os.Stdout, *n, rep, ci, stats)
 	closeTrace()
 }
 
@@ -283,7 +295,7 @@ func fatalf(format string, args ...any) {
 // runOHP runs the standalone Figure 6 detector — crash-stop (verified
 // ◇HP̄/HΩ class properties) or, with a churn spec, crash-recovery churn
 // (verified against the eventually-up ground truth).
-func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PID]hds.Time,
+func runOHP(meta *trace.Meta, ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PID]hds.Time,
 	churn hds.ChurnSpec, gst, delta int64, seed, horizon int64, traceRec *trace.Recorder) {
 	if churn.Fraction > 0 {
 		if len(crashes) > 0 {
@@ -298,20 +310,14 @@ func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PI
 		if effective == nil {
 			effective = sim.PartialSync{Delta: 3}
 		}
-		fmt.Printf("algo=ohp ids=%v churn=%s net=%s seed=%d\n", ids, churn, effective, seed)
+		replay.WriteOHPHeader(os.Stdout, &replay.Scenario{Meta: meta, IDs: ids, Churn: churn, Net: effective})
 		res, err := hds.RunChurnOHP(hds.ChurnOHPExperiment{
 			IDs: ids, Churn: churn, Net: cnet, Seed: seed, Horizon: horizon, Trace: traceRec,
 		})
 		if err != nil {
 			fatalf("verification failed: %v", err)
 		}
-		fmt.Println("detector verified ✔ (◇HP̄ + HΩ over the eventually-up set)")
-		fmt.Printf("  eventually up:    %d/%d (correct in the strict sense: %d)\n", res.EventuallyUp, ids.N(), res.Correct)
-		fmt.Printf("  recoveries:       %d\n", res.Recoveries)
-		fmt.Printf("  last change:      t=%d\n", res.LastChange)
-		fmt.Printf("  ◇HP̄ re-stab:     t=%d\n", res.TrustedRestab)
-		fmt.Printf("  HΩ re-stab:       t=%d  leader=%s\n", res.LeaderRestab, res.Leader)
-		fmt.Printf("  broadcasts:       %d — %s\n", res.Stats.Broadcasts, cliutil.FormatTagCounts(res.Stats.ByTag))
+		replay.WriteChurnOHPBlock(os.Stdout, ids.N(), res)
 		return
 	}
 	exp := hds.OHPExperiment{IDs: ids, Crashes: crashes, GST: gst, Delta: delta, Seed: seed, Horizon: horizon, Trace: traceRec}
@@ -320,15 +326,12 @@ func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PI
 		exp.Net = net
 		effective = net
 	}
-	fmt.Printf("algo=ohp ids=%v crashes=%d net=%s seed=%d\n", ids, len(crashes), effective, seed)
+	replay.WriteOHPHeader(os.Stdout, &replay.Scenario{Meta: meta, IDs: ids, Crashes: crashes, Net: effective})
 	res, err := hds.RunOHP(exp)
 	if err != nil {
 		fatalf("verification failed: %v", err)
 	}
-	fmt.Println("detector verified ✔ (◇HP̄ + HΩ)")
-	fmt.Printf("  ◇HP̄ stabilized:  t=%d\n", res.TrustedStabilization)
-	fmt.Printf("  HΩ stabilized:    t=%d  leader=%s\n", res.LeaderStabilization, res.Leader)
-	fmt.Printf("  broadcasts:       %d — %s\n", res.Stats.Broadcasts, cliutil.FormatTagCounts(res.Stats.ByTag))
+	replay.WriteOHPBlock(os.Stdout, res)
 }
 
 // runHeartbeat runs the population-scale heartbeat churn workload with
@@ -337,10 +340,9 @@ func runOHP(ids hds.Assignment, net sim.Model, netGiven bool, crashes map[hds.PI
 // counters against the recorder's delivery total, and delivery liveness
 // through a streaming probe — all in memory independent of the event
 // count, which is what lets -n reach 50,000.
-func runHeartbeat(ids hds.Assignment, net sim.Model, churn hds.ChurnSpec,
+func runHeartbeat(meta *trace.Meta, ids hds.Assignment, net sim.Model, churn hds.ChurnSpec,
 	period int64, beaters, maxEvents int, seed, horizon int64, traceRec *trace.Recorder) {
-	fmt.Printf("algo=heartbeat n=%d ℓ=%d beaters=%s churn=%s net=%s period=%d seed=%d\n",
-		ids.N(), ids.DistinctCount(), beatersLabel(beaters, ids.N()), churn, net, period, seed)
+	replay.WriteHeartbeatHeader(os.Stdout, &replay.Scenario{Meta: meta, IDs: ids, Churn: churn, Net: net})
 	res, err := hds.RunHeartbeatChurn(hds.HeartbeatExperiment{
 		IDs: ids, Churn: churn, Net: net, Period: period, Seed: seed,
 		Horizon: horizon, Beaters: beaters, MaxEvents: maxEvents,
@@ -349,19 +351,27 @@ func runHeartbeat(ids hds.Assignment, net sim.Model, churn hds.ChurnSpec,
 	if err != nil {
 		fatalf("verification failed: %v", err)
 	}
-	fmt.Println("heartbeat churn verified ✔ (fault bookkeeping vs schedule truth, heard-sum vs delivered, delivery liveness)")
-	fmt.Printf("  eventually up:    %d/%d (correct in the strict sense: %d)\n", res.EventuallyUp, ids.N(), res.Correct)
-	fmt.Printf("  recoveries:       %d\n", res.Recoveries)
-	fmt.Printf("  events processed: %d (stop: %s)\n", res.Processed, res.Stopped)
-	fmt.Printf("  deliveries/drops: %d/%d\n", res.Stats.Delivered, res.Stats.Dropped)
-	fmt.Printf("  queue high-water: %d entries (lazy fan-out: tracks broadcasts, not n² copies)\n", res.MaxQueue)
+	replay.WriteHeartbeatBlock(os.Stdout, ids.N(), res, true)
 }
 
-func beatersLabel(beaters, n int) string {
-	if beaters <= 0 || beaters >= n {
-		return "all"
+// runReplay re-verifies a recorded run from its trace alone: the scenario
+// comes from the embedded fingerprint, the checker inputs from the event
+// stream, and the verdict prints through the same renderers the live run
+// used. Events stream through the reader one at a time, so population-
+// scale traces re-verify in constant memory.
+func runReplay(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
 	}
-	return fmt.Sprintf("%d", beaters)
+	defer f.Close()
+	r, err := trace.NewBinaryReader(f)
+	if err != nil {
+		log.Fatalf("replay: %v", err)
+	}
+	if err := replay.Verify(r.Meta(), r, os.Stdout); err != nil {
+		log.Fatalf("verification failed: %v", err)
+	}
 }
 
 // seedRow is one seed's result in a sweep campaign. It is flat and

@@ -1,0 +1,300 @@
+// Command tracediff localizes the first divergence between two recorded
+// traces. See doc.go for usage and exit codes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: tracediff <trace-a> <trace-b>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	a, err := open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer a.close()
+	b, err := open(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	defer b.close()
+
+	metaOK := compareMeta(a, b)
+	identical, err := compareEvents(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	if identical && metaOK {
+		os.Exit(0)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracediff: %v\n", err)
+	os.Exit(2)
+}
+
+// side is one trace under comparison: indexed random access when the
+// stream is a finalized v2 file, streaming fallback otherwise (v1, or a
+// run that died before writing its trailer).
+type side struct {
+	path string
+	f    *os.File
+	tf   *trace.TraceFile // nil when only streaming works
+}
+
+func open(path string) (*side, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := &side{path: path, f: f}
+	if tf, err := trace.OpenTraceFile(f, st.Size()); err == nil {
+		s.tf = tf
+	}
+	return s, nil
+}
+
+func (s *side) close() { s.f.Close() }
+
+// stream returns a reader over the side's full event body from the start.
+func (s *side) stream() (*trace.BinaryReader, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return trace.NewBinaryReader(s.f)
+}
+
+func (s *side) meta() (*trace.Meta, error) {
+	if s.tf != nil {
+		return s.tf.Meta(), nil
+	}
+	r, err := s.stream()
+	if err != nil {
+		return nil, err
+	}
+	return r.Meta(), nil
+}
+
+// compareMeta prints the scenario-fingerprint verdict and reports whether
+// the fingerprints agree. Two traces of different scenarios can still be
+// event-diffed, but they are not runs of the same experiment.
+func compareMeta(a, b *side) bool {
+	ma, err := a.meta()
+	if err != nil {
+		fatal(err)
+	}
+	mb, err := b.meta()
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case ma == nil && mb == nil:
+		fmt.Println("meta: none (v1 or fingerprint-less traces)")
+		return true
+	case ma == nil || mb == nil:
+		fmt.Println("meta: DIFFER (only one trace carries a scenario fingerprint)")
+		fmt.Printf("  a: %s\n", metaLine(ma))
+		fmt.Printf("  b: %s\n", metaLine(mb))
+		return false
+	case *ma == *mb:
+		fmt.Printf("meta: identical — %s\n", metaLine(ma))
+		return true
+	default:
+		fmt.Println("meta: DIFFER (not runs of the same scenario)")
+		fmt.Printf("  a: %s\n", metaLine(ma))
+		fmt.Printf("  b: %s\n", metaLine(mb))
+		return false
+	}
+}
+
+func metaLine(m *trace.Meta) string {
+	if m == nil {
+		return "(none)"
+	}
+	j, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Sprintf("%+v", *m)
+	}
+	return string(j)
+}
+
+// compareEvents finds and reports the first divergent event. With two
+// finalized v2 traces whose frames align, the per-frame cumulative
+// digests locate the divergent frame by binary search and only that frame
+// is decoded from each side; otherwise both bodies stream linearly.
+func compareEvents(a, b *side) (bool, error) {
+	if a.tf != nil && b.tf != nil {
+		ia, ib := a.tf.Index(), b.tf.Index()
+		if ia.TotalDigest == ib.TotalDigest && ia.TotalEvents == ib.TotalEvents {
+			fmt.Printf("events: identical — %d events, digest %016x\n", ia.TotalEvents, ia.TotalDigest)
+			return true, nil
+		}
+		if k, ok := divergentFrame(ia, ib); ok {
+			return false, diffFrames(a, b, k)
+		}
+		// Frames misaligned (different spill strides): digests at frame
+		// boundaries are not comparable, scan instead.
+	}
+	return diffStreams(a, b)
+}
+
+// divergentFrame returns the index of the first frame that can contain
+// the divergence, given aligned frame boundaries: the first frame whose
+// events-before digest disagrees, minus one. ok is false when the frame
+// boundaries do not line up (the binary search would be meaningless).
+func divergentFrame(ia, ib *trace.Index) (int, bool) {
+	m := len(ia.Frames)
+	if len(ib.Frames) < m {
+		m = len(ib.Frames)
+	}
+	for i := 0; i < m; i++ {
+		if ia.Frames[i].Ordinal != ib.Frames[i].Ordinal {
+			return 0, false
+		}
+	}
+	// DigestBefore[0] is the FNV basis on both sides, so the search
+	// never selects -1.
+	k := sort.Search(m, func(i int) bool {
+		return ia.Frames[i].DigestBefore != ib.Frames[i].DigestBefore
+	})
+	if k == 0 {
+		return 0, false
+	}
+	// Bodies agree before frame k-1 and disagree somewhere at or after
+	// its start: the first divergent event is in frame k-1 or, if that
+	// frame ties, a later one (only when k == m; diffFrames walks on).
+	return k - 1, true
+}
+
+// diffFrames reports the first divergent event at or after frame k,
+// decoding one aligned frame pair at a time.
+func diffFrames(a, b *side, k int) error {
+	na, nb := len(a.tf.Index().Frames), len(b.tf.Index().Frames)
+	for ; k < na && k < nb; k++ {
+		fa, err := frameEvents(a, k)
+		if err != nil {
+			return err
+		}
+		fb, err := frameEvents(b, k)
+		if err != nil {
+			return err
+		}
+		ord := a.tf.Index().Frames[k].Ordinal
+		if done, err := reportFirstDiff(fa, fb, ord, k); done {
+			return err
+		}
+	}
+	reportLength(a.tf.Index().TotalEvents, b.tf.Index().TotalEvents)
+	return nil
+}
+
+func frameEvents(s *side, k int) ([]trace.Event, error) {
+	r, err := s.tf.OpenFrame(k)
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.Event
+	err = trace.Drain(r, func(e trace.Event) error {
+		out = append(out, e)
+		return nil
+	})
+	return out, err
+}
+
+// reportFirstDiff compares two aligned event runs starting at ordinal
+// ord; on a mismatch it prints the divergence and reports done. A length
+// mismatch within the pair is also final (frames are aligned, so the
+// shorter side's trace ends inside this frame).
+func reportFirstDiff(fa, fb []trace.Event, ord uint64, frame int) (bool, error) {
+	n := len(fa)
+	if len(fb) < n {
+		n = len(fb)
+	}
+	for i := 0; i < n; i++ {
+		if fa[i] != fb[i] {
+			fmt.Printf("events: first divergence at event %d (frame %d)\n", ord+uint64(i), frame)
+			fmt.Printf("  a: %s\n", fa[i])
+			fmt.Printf("  b: %s\n", fb[i])
+			return true, nil
+		}
+	}
+	if len(fa) != len(fb) {
+		reportLength(ord+uint64(len(fa)), ord+uint64(len(fb)))
+		return true, nil
+	}
+	return false, nil
+}
+
+func reportLength(na, nb uint64) {
+	if na == nb {
+		// Aligned, equal-length, pairwise-equal events — yet the digests
+		// disagreed. That means a body byte difference the decoder
+		// normalizes away (it cannot happen with this writer).
+		fmt.Printf("events: %d in both, no event-level divergence\n", na)
+		return
+	}
+	fmt.Printf("events: lengths diverge — %d vs %d (traces agree up to the shorter)\n", na, nb)
+}
+
+// diffStreams is the linear fallback: decode both bodies in lockstep.
+func diffStreams(a, b *side) (bool, error) {
+	ra, err := a.stream()
+	if err != nil {
+		return false, err
+	}
+	rb, err := b.stream()
+	if err != nil {
+		return false, err
+	}
+	var ord uint64
+	for {
+		ea, errA := ra.Next()
+		eb, errB := rb.Next()
+		switch {
+		case errA == io.EOF && errB == io.EOF:
+			fmt.Printf("events: identical — %d events\n", ord)
+			return true, nil
+		case errA == io.EOF || errB == io.EOF:
+			var na, nb uint64 = ord, ord
+			if errA == io.EOF {
+				nb++ // b still has at least this event
+			} else {
+				na++
+			}
+			reportLength(na, nb)
+			return false, nil
+		case errA != nil:
+			return false, fmt.Errorf("%s: %w", a.path, errA)
+		case errB != nil:
+			return false, fmt.Errorf("%s: %w", b.path, errB)
+		case ea != eb:
+			fmt.Printf("events: first divergence at event %d\n", ord)
+			fmt.Printf("  a: %s\n", ea)
+			fmt.Printf("  b: %s\n", eb)
+			return false, nil
+		}
+		ord++
+	}
+}

@@ -319,6 +319,12 @@ func guardErr(eng *sim.Engine) error {
 	return nil
 }
 
+// DefaultProposals is the proposal vector every runner uses when the
+// experiment supplies none: "v0".."v{n-1}". Exported so offline
+// verification can reconstruct the proposals a recorded run was checked
+// against from its scenario fingerprint alone.
+func DefaultProposals(n int) []Value { return defaultProposals(n) }
+
 func defaultProposals(n int) []Value {
 	out := make([]Value, n)
 	for i := range out {

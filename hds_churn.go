@@ -105,6 +105,10 @@ func RunChurnOHP(e ChurnOHPExperiment) (ChurnOHPResult, error) {
 		}
 		return dets[p].Leader()
 	}, func(a, b fd.LeaderInfo) bool { return a == b })
+	if rec.Retaining() {
+		fd.RecordChanges(rec, trustedProbe, fd.TagTrusted, fd.RenderView)
+		fd.RecordChanges(rec, leaderProbe, fd.TagLeader, fd.RenderLeader)
+	}
 
 	eng.Run(e.Horizon)
 	if err := guardErr(eng); err != nil {

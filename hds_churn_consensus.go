@@ -280,6 +280,16 @@ func runChurnConsensus(eng *sim.Engine, rec *trace.Recorder, truth *fd.GroundTru
 	return res, nil
 }
 
+// FaultPattern expands a churn spec plus permanent crashes into the
+// combined schedule and its ground truth, with the same validation the
+// churn runners apply (events within the horizon, no process driven by
+// both mechanisms). Offline verification uses it to rebuild the exact
+// fault pattern a recorded run verified against from the scenario
+// fingerprint alone.
+func FaultPattern(ids Assignment, churn ChurnSpec, crashes map[PID]Time, horizon Time) ([]ChurnEvent, *fd.GroundTruth, error) {
+	return churnFaultPattern(ids, churn, crashes, horizon)
+}
+
 // churnFaultPattern expands the churn spec, folds permanent crashes into
 // the same schedule, validates the combination (events within the horizon,
 // no process driven by both mechanisms), and derives the ground truth.

@@ -81,19 +81,25 @@ func RunOHP(e OHPExperiment) (OHPResult, error) {
 	truth := fd.NewGroundTruth(e.IDs, e.Crashes)
 	// The trusted probe samples the detector's live view: no clone on the
 	// per-event path (OnTimer replaces h_trusted wholesale, so stored views
-	// are never mutated after sampling).
-	trustedProbe := fd.NewProbe(eng, n, func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
+	// are never mutated after sampling). Streaming probes suffice — the
+	// checkers judge final views only — and their change streams feed the
+	// trace when one is kept, so a replay can re-verify the same verdicts.
+	trustedProbe := fd.NewStreamProbe(eng, n, func(p sim.PID) (*multiset.Multiset[ident.ID], bool) {
 		if eng.Crashed(p) {
 			return nil, false
 		}
 		return dets[p].TrustedView(), true
 	}, func(a, b *multiset.Multiset[ident.ID]) bool { return a.Equal(b) })
-	leaderProbe := fd.NewProbe(eng, n, func(p sim.PID) (fd.LeaderInfo, bool) {
+	leaderProbe := fd.NewStreamProbe(eng, n, func(p sim.PID) (fd.LeaderInfo, bool) {
 		if eng.Crashed(p) {
 			return fd.LeaderInfo{}, false
 		}
 		return dets[p].Leader()
 	}, func(a, b fd.LeaderInfo) bool { return a == b })
+	if rec.Retaining() {
+		fd.RecordChanges(rec, trustedProbe, fd.TagTrusted, fd.RenderView)
+		fd.RecordChanges(rec, leaderProbe, fd.TagLeader, fd.RenderLeader)
+	}
 
 	eng.Run(e.Horizon)
 	if err := guardErr(eng); err != nil {

@@ -105,6 +105,7 @@ var deterministicSegments = map[string]bool{
 	"sweep":       true,
 	"campaign":    true,
 	"trace":       true,
+	"replay":      true,
 	"experiments": true,
 	"multiset":    true,
 	"reduce":      true,

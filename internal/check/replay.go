@@ -1,0 +1,62 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// OutcomeTracker reconstructs per-process outcomes from a trace's decide
+// events — the replay-side stand-in for querying instance Decided()
+// methods that no longer exist once the engine is gone. Each KindDecide
+// event carries a core.DecideDetail; the first one per process pins its
+// outcome, and every one is also fed to an embedded DecisionMonitor, so a
+// replayed run reports decision-stability violations with the exact error
+// strings the live monitor would have produced.
+type OutcomeTracker struct {
+	outcomes []core.Outcome
+	mon      *DecisionMonitor
+	err      error
+}
+
+// NewOutcomeTracker tracks outcomes for processes 0..n-1.
+func NewOutcomeTracker(n int) *OutcomeTracker {
+	return &OutcomeTracker{outcomes: make([]core.Outcome, n), mon: NewDecisionMonitor()}
+}
+
+// Observe consumes one trace event; non-decide events are ignored, so the
+// tracker can sit on an unfiltered event stream.
+func (t *OutcomeTracker) Observe(e trace.Event) {
+	if e.Kind != trace.KindDecide || t.err != nil {
+		return
+	}
+	if e.PID < 0 || e.PID >= len(t.outcomes) {
+		t.err = fmt.Errorf("check: decide event for process %d outside [0,%d)", e.PID, len(t.outcomes))
+		return
+	}
+	v, round, relayed, err := core.ParseDecideDetail(e.Detail)
+	if err != nil {
+		t.err = err
+		return
+	}
+	out := core.Outcome{Decided: true, Value: v, Round: round, Time: sim.Time(e.Time), Relayed: relayed}
+	t.mon.Observe(sim.PID(e.PID), out)
+	if !t.outcomes[e.PID].Decided {
+		t.outcomes[e.PID] = out
+	}
+}
+
+// Outcomes returns the reconstructed outcome vector (first decision per
+// process, exactly what the live driver reads after the run).
+func (t *OutcomeTracker) Outcomes() []core.Outcome { return t.outcomes }
+
+// Err reports the first malformed decide event or decision-stability
+// violation (via the embedded DecisionMonitor), nil in correct runs.
+func (t *OutcomeTracker) Err() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.mon.Err()
+}

@@ -1,0 +1,103 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func decideEvent(t int64, pid int, v core.Value, round int, relayed bool) trace.Event {
+	return trace.Event{Time: t, Kind: trace.KindDecide, PID: pid, MsgTag: "DECIDE",
+		Detail: core.DecideDetail(v, round, relayed)}
+}
+
+// TestOutcomeTracker pins the replay reconstruction: decide events round
+// trip through core.DecideDetail into the same outcome vector a live
+// driver would read, non-decide events are ignored, and the first
+// decision per process wins.
+func TestOutcomeTracker(t *testing.T) {
+	tr := NewOutcomeTracker(3)
+	tr.Observe(trace.Event{Time: 1, Kind: trace.KindBroadcast, PID: 0, MsgTag: "PH1"})
+	tr.Observe(decideEvent(5, 0, "v2", 2, false))
+	tr.Observe(decideEvent(6, 2, "v2", 2, true))
+	tr.Observe(trace.Event{Time: 7, Kind: trace.KindCrash, PID: 1})
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Outcome{
+		{Decided: true, Value: "v2", Round: 2, Time: 5},
+		{},
+		{Decided: true, Value: "v2", Round: 2, Time: 6, Relayed: true},
+	}
+	got := tr.Outcomes()
+	for p := range want {
+		if got[p] != want[p] {
+			t.Errorf("process %d: got %+v, want %+v", p, got[p], want[p])
+		}
+	}
+}
+
+// TestOutcomeTrackerStability pins verdict equivalence with the live
+// DecisionMonitor: a process re-deciding differently after an outage
+// surfaces with the monitor's exact error string.
+func TestOutcomeTrackerStability(t *testing.T) {
+	tr := NewOutcomeTracker(2)
+	tr.Observe(decideEvent(5, 0, "v0", 1, false))
+	tr.Observe(decideEvent(9, 0, "v1", 2, false))
+	err := tr.Err()
+	if err == nil || !strings.Contains(err.Error(), `process 0 changed its decision from "v0" (round 1) to "v1" (round 2)`) {
+		t.Fatalf("got %v, want the live monitor's changed-decision error", err)
+	}
+
+	// A repeated identical decide (relay echo after recovery) is not a
+	// violation.
+	tr = NewOutcomeTracker(2)
+	tr.Observe(decideEvent(5, 1, "v0", 1, false))
+	tr.Observe(decideEvent(9, 1, "v0", 1, false))
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOutcomeTrackerMalformed pins the error paths: out-of-range pids and
+// details that do not parse.
+func TestOutcomeTrackerMalformed(t *testing.T) {
+	tr := NewOutcomeTracker(2)
+	tr.Observe(decideEvent(1, 5, "v0", 1, false))
+	if err := tr.Err(); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("got %v, want out-of-range error", err)
+	}
+
+	tr = NewOutcomeTracker(2)
+	tr.Observe(trace.Event{Time: 1, Kind: trace.KindDecide, PID: 0, MsgTag: "DECIDE", Detail: "garbage"})
+	if err := tr.Err(); err == nil || !strings.Contains(err.Error(), "no round marker") {
+		t.Fatalf("got %v, want parse error", err)
+	}
+}
+
+// TestDecideDetailRoundTrip pins DecideDetail/ParseDecideDetail as exact
+// inverses, including values containing spaces.
+func TestDecideDetailRoundTrip(t *testing.T) {
+	cases := []struct {
+		v       core.Value
+		round   int
+		relayed bool
+	}{
+		{"v0", 0, false},
+		{"v17", 3, true},
+		{"odd value r=9", 12, false},
+		{"odd value r=9", 12, true},
+	}
+	for _, c := range cases {
+		d := core.DecideDetail(c.v, c.round, c.relayed)
+		v, round, relayed, err := core.ParseDecideDetail(d)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if v != c.v || round != c.round || relayed != c.relayed {
+			t.Errorf("%+v round-tripped to (%q, %d, %v) via %q", c, v, round, relayed, d)
+		}
+	}
+}

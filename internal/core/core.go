@@ -130,7 +130,7 @@ func (d *decider) decide(v Value, round int) {
 		return
 	}
 	d.outcome = Outcome{Decided: true, Value: v, Round: round, Time: d.env.Now()}
-	d.env.Note(trace.KindDecide, "DECIDE", string(v))
+	d.env.Note(trace.KindDecide, "DECIDE", DecideDetail(v, round, false))
 	d.env.Broadcast(DecideMsg{Val: v, Round: round})
 }
 
@@ -142,7 +142,7 @@ func (d *decider) onDecide(m DecideMsg) {
 		return
 	}
 	d.outcome = Outcome{Decided: true, Value: m.Val, Round: m.Round, Time: d.env.Now(), Relayed: true}
-	d.env.Note(trace.KindDecide, "DECIDE", string(m.Val)+" (relayed)")
+	d.env.Note(trace.KindDecide, "DECIDE", DecideDetail(m.Val, m.Round, true))
 	d.env.Broadcast(DecideMsg{Val: m.Val, Round: m.Round})
 }
 

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The trace detail of a KindDecide event carries everything a replay
+// needs to rebuild the process's Outcome without the engine: the decided
+// value, the round the decision was reached in, and whether it was
+// adopted from a relayed DECIDE. DecideDetail and ParseDecideDetail are
+// exact inverses; internal/check's replay tracker leans on that.
+
+// DecideDetail renders a decision as its trace detail, e.g. "v0 r=3" or
+// "v1 r=2 (relayed)".
+func DecideDetail(v Value, round int, relayed bool) string {
+	s := string(v) + " r=" + strconv.Itoa(round)
+	if relayed {
+		s += " (relayed)"
+	}
+	return s
+}
+
+// ParseDecideDetail inverts DecideDetail. Values may contain spaces (the
+// round marker is found from the end), but not the literal substring
+// " r=" followed by digits at the tail.
+func ParseDecideDetail(detail string) (v Value, round int, relayed bool, err error) {
+	s := detail
+	if rest, ok := strings.CutSuffix(s, " (relayed)"); ok {
+		relayed = true
+		s = rest
+	}
+	i := strings.LastIndex(s, " r=")
+	if i < 0 {
+		return "", 0, false, fmt.Errorf("core: decide detail %q has no round marker", detail)
+	}
+	round, err = strconv.Atoi(s[i+len(" r="):])
+	if err != nil {
+		return "", 0, false, fmt.Errorf("core: decide detail %q has bad round: %v", detail, err)
+	}
+	return Value(s[:i]), round, relayed, nil
+}

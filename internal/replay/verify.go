@@ -1,0 +1,215 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+
+	hds "repro"
+	"repro/internal/check"
+	"repro/internal/fd"
+	"repro/internal/trace"
+)
+
+// Verify re-runs a recorded execution's property checkers from its trace
+// alone — no engine, no re-execution — and writes the verdict report to w
+// in the live driver's format. The event stream is consumed in one pass
+// with state linear in the process count (never in the event count), so a
+// population-scale spilled trace replays in constant memory exactly like
+// it was recorded. A verification failure is returned as an error, with
+// the same message the live checkers would have produced.
+func Verify(m *trace.Meta, src trace.EventSource, w io.Writer) error {
+	sc, err := BuildScenario(m)
+	if err != nil {
+		return err
+	}
+	switch m.Algo {
+	case "fig8", "fig9", "fig9-anon":
+		return verifyConsensus(sc, src, w)
+	case "ohp":
+		return verifyOHP(sc, src, w)
+	case "heartbeat":
+		return verifyHeartbeat(sc, src, w)
+	}
+	panic("unreachable: BuildScenario validated the algorithm")
+}
+
+// statsOf re-aggregates the execution statistics the live recorder kept:
+// Record's counting path is the same code, so the replayed Stats agree
+// with the live ones by construction.
+type statsOf = trace.Recorder
+
+func verifyConsensus(sc *Scenario, src trace.EventSource, w io.Writer) error {
+	WriteConsensusHeader(w, sc)
+	n := sc.Meta.N
+	tracker := check.NewOutcomeTracker(n)
+	rec := &statsOf{}
+	recoveries := 0
+	if err := trace.Drain(src, func(e trace.Event) error {
+		rec.Record(e)
+		if e.Kind == trace.KindRecover {
+			recoveries++
+		}
+		tracker.Observe(e)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := tracker.Err(); err != nil {
+		return err
+	}
+
+	proposals := hds.DefaultProposals(n)
+	outcomes := tracker.Outcomes()
+	var churn *ChurnInfo
+	var rep hds.Report
+	if sc.Churn.Fraction > 0 {
+		_, truth, err := hds.FaultPattern(sc.IDs, sc.Churn, sc.Crashes, sc.Horizon)
+		if err != nil {
+			return err
+		}
+		if rep, err = check.ConsensusChurn(truth, proposals, outcomes); err != nil {
+			return err
+		}
+		churn = &ChurnInfo{
+			EventuallyUp: len(truth.EventuallyUp()),
+			Correct:      len(truth.Correct()),
+			Recoveries:   recoveries,
+			LastChange:   truth.LastChange(),
+		}
+		if rep.LastDecision > churn.LastChange {
+			churn.DecideAfterChurn = rep.LastDecision - churn.LastChange
+		}
+	} else {
+		truth := fd.NewGroundTruth(sc.IDs, sc.Crashes)
+		var err error
+		if rep, err = check.Consensus(truth, proposals, outcomes); err != nil {
+			return err
+		}
+	}
+	WriteConsensusBlock(w, n, rep, churn, rec.Stats())
+	return nil
+}
+
+func verifyOHP(sc *Scenario, src trace.EventSource, w io.Writer) error {
+	WriteOHPHeader(w, sc)
+	n := sc.Meta.N
+	trusted := fd.NewTrustedReplayer(n)
+	leader := fd.NewLeaderReplayer(n)
+	rec := &statsOf{}
+	recoveries := 0
+	if err := trace.Drain(src, func(e trace.Event) error {
+		rec.Record(e)
+		if e.Kind == trace.KindRecover {
+			recoveries++
+		}
+		trusted.Observe(e)
+		leader.Observe(e)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := trusted.Err(); err != nil {
+		return err
+	}
+	if err := leader.Err(); err != nil {
+		return err
+	}
+
+	if sc.Churn.Fraction > 0 {
+		_, truth, err := hds.FaultPattern(sc.IDs, sc.Churn, nil, sc.Horizon)
+		if err != nil {
+			return err
+		}
+		resT, err := fd.CheckDiamondHPbar(truth, trusted.Probe())
+		if err != nil {
+			return err
+		}
+		resL, err := fd.CheckHOmega(truth, leader.Probe())
+		if err != nil {
+			return err
+		}
+		res := hds.ChurnOHPResult{
+			LastChange:    truth.LastChange(),
+			TrustedRestab: resT.StabilizationTime,
+			LeaderRestab:  resL.StabilizationTime,
+			EventuallyUp:  len(truth.EventuallyUp()),
+			Correct:       len(truth.Correct()),
+			Recoveries:    recoveries,
+			Stats:         rec.Stats(),
+		}
+		if up := truth.EventuallyUp(); len(up) > 0 {
+			res.Leader, _ = leader.Probe().Last(up[0])
+		}
+		WriteChurnOHPBlock(w, n, res)
+		return nil
+	}
+
+	truth := fd.NewGroundTruth(sc.IDs, sc.Crashes)
+	resT, err := fd.CheckDiamondHPbar(truth, trusted.Probe())
+	if err != nil {
+		return err
+	}
+	resL, err := fd.CheckHOmega(truth, leader.Probe())
+	if err != nil {
+		return err
+	}
+	res := hds.OHPResult{
+		TrustedStabilization: resT.StabilizationTime,
+		LeaderStabilization:  resL.StabilizationTime,
+		Stats:                rec.Stats(),
+	}
+	if correct := truth.Correct(); len(correct) > 0 {
+		res.Leader, _ = leader.Probe().Last(correct[0])
+	}
+	WriteOHPBlock(w, res)
+	return nil
+}
+
+func verifyHeartbeat(sc *Scenario, src trace.EventSource, w io.Writer) error {
+	WriteHeartbeatHeader(w, sc)
+	n := sc.Meta.N
+	heard := make([]int, n)
+	rec := &statsOf{}
+	recoveries := 0
+	if err := trace.Drain(src, func(e trace.Event) error {
+		rec.Record(e)
+		switch e.Kind {
+		case trace.KindDeliver:
+			if e.PID >= 0 && e.PID < n {
+				heard[e.PID]++
+			}
+		case trace.KindRecover:
+			recoveries++
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	schedule, truth, err := hds.FaultPattern(sc.IDs, sc.Churn, nil, sc.Horizon)
+	if err != nil {
+		return err
+	}
+	want := 0
+	for _, ev := range schedule {
+		if ev.Recover {
+			want++
+		}
+	}
+	if recoveries != want {
+		return fmt.Errorf("replay: trace records %d recoveries but the schedule fires %d", recoveries, want)
+	}
+	for _, p := range truth.EventuallyUp() {
+		if heard[p] == 0 {
+			return fmt.Errorf("hds: eventually-up process %d heard no beats", p)
+		}
+	}
+	res := hds.HeartbeatResult{
+		EventuallyUp: len(truth.EventuallyUp()),
+		Correct:      len(truth.Correct()),
+		Recoveries:   recoveries,
+		Stats:        rec.Stats(),
+	}
+	WriteHeartbeatBlock(w, n, res, false)
+	return nil
+}

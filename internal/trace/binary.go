@@ -3,26 +3,50 @@ package trace
 // Compact binary trace format. Text rendering dominates spill cost (every
 // event is a fmt.Sprintf), and text traces at large n dominate disk: the
 // binary sink writes roughly an order of magnitude less and formats
-// nothing. The encoding is self-describing and streaming-decodable:
+// nothing. Version 2 (what BinarySink writes) is self-describing and
+// seekable; version 1 streams remain readable.
 //
-//	header:  8-byte magic "HDTRACE\x01" (the trailing byte is the format
-//	         version), then no global tables — strings are interned inline.
-//	event:   kind     uvarint
+//	header:  8-byte magic "HDTRACE\x02" (the trailing byte is the format
+//	         version), then the metadata block: a uvarint byte length and
+//	         that many bytes of JSON (Meta). Length 0 = no metadata.
+//	body:    events, grouped into frames of FrameEvents events each. The
+//	         string table and the time base reset at every frame boundary,
+//	         so a frame decodes from its own first byte with fresh state —
+//	         that self-containment is what makes the index useful.
+//	event:   kind     uvarint (1..KindTimerDrop; 0 escapes to a control
+//	                  record, any other value is a corruption error)
 //	         Δtime    signed varint (zigzag), delta vs the previous
-//	                  event's time (first event: delta vs 0)
+//	                  event's time (first event of a frame: delta vs 0)
 //	         pid      uvarint
 //	         tag      string ref
 //	         detail   string ref
+//	control: kind 0, then a uvarint code: 1 = frame restart (reset string
+//	         table and time base), 2 = end of events (the index follows).
 //	string ref: uvarint r. r == 0 is the empty string; r <= len(table) is
 //	         table entry r-1; r == len(table)+1 introduces a new string —
 //	         a uvarint byte length and the bytes follow, and the string is
 //	         appended to the table. Any larger r is a corruption error.
+//	index:   frame count uvarint, then per frame: ordinal uvarint (index
+//	         of the frame's first event), start time varint, byte offset
+//	         uvarint (absolute file offset of the frame's first event),
+//	         pid bloom 8 bytes LE, digest-before 8 bytes LE (FNV-64a of
+//	         every body byte before the frame, restart controls included);
+//	         then total events uvarint and total digest 8 bytes LE.
+//	trailer: index offset 8 bytes LE, then the 8-byte end magic
+//	         "HDIXEND2" — fixed-size, so a reader with random access finds
+//	         the index by reading the last 16 bytes (OpenTraceFile).
 //
-// Both sides build the identical table in stream order, so references
-// never need transmitting ahead of use and decoding needs one pass.
-// Deltas are signed because recording order is engine pop order, which is
-// monotone in time only within one engine; merged or hand-built traces
-// may step backwards.
+// Both sides build the identical string table in stream order, so
+// references never need transmitting ahead of use and decoding needs one
+// pass. Deltas are signed because recording order is engine pop order,
+// which is monotone in time only within one engine; merged or hand-built
+// traces may step backwards.
+//
+// Version 1 is the same event encoding with no metadata, no frames, no
+// index and no trailer: the stream simply ends after the last event. The
+// v2 end-of-events control plus trailer make truncation and trailing
+// garbage detectable exactly; in v1 the kind-range check catches stray
+// bytes that version's reader silently accepted as phantom events.
 //
 // The decoder reproduces Event values exactly, so rendering a decoded
 // trace with WriteText is byte-identical to what WriterSink would have
@@ -32,152 +56,454 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 )
 
 // binaryMagic identifies a binary trace stream; the last byte is the
-// format version.
-var binaryMagic = [8]byte{'H', 'D', 'T', 'R', 'A', 'C', 'E', 1}
+// format version BinarySink writes.
+var binaryMagic = [8]byte{'H', 'D', 'T', 'R', 'A', 'C', 'E', 2}
+
+// binaryMagicV1 is the version-1 header, still accepted by readers.
+var binaryMagicV1 = [8]byte{'H', 'D', 'T', 'R', 'A', 'C', 'E', 1}
+
+// indexEndMagic closes a v2 stream; OpenTraceFile seeks it from the end.
+var indexEndMagic = [8]byte{'H', 'D', 'I', 'X', 'E', 'N', 'D', '2'}
+
+// Control codes following an escaped kind 0.
+const (
+	controlRestart = 1 // frame boundary: reset string table and time base
+	controlEnd     = 2 // end of events: the index follows
+)
+
+// DefaultFrameEvents is the events-per-frame stride used when
+// BinarySink.FrameEvents is zero. One frame per spill batch keeps index
+// granularity aligned with the recorder's staging buffer.
+const DefaultFrameEvents = 4096
 
 // maxBinaryString caps one interned string's byte length — far beyond any
 // tag or detail the engine emits — so a corrupt length prefix fails fast
-// instead of driving a giant allocation.
+// instead of driving a giant allocation. The same cap bounds the metadata
+// block and the frame count.
 const maxBinaryString = 1 << 20
 
 // ErrBinaryTrace tags all binary-trace format errors; decode failures wrap
 // it, so errors.Is(err, ErrBinaryTrace) distinguishes corruption from I/O.
 var ErrBinaryTrace = errors.New("trace: binary format error")
 
+// ErrTrailingData reports bytes following a complete stream — after the
+// v2 trailer, where nothing legitimate can live. It wraps ErrBinaryTrace.
+// Version-1 streams have no end marker, so for them stray bytes surface
+// as an invalid-kind or truncated-event error instead; either way extra
+// bytes are never silently ignored.
+var ErrTrailingData = fmt.Errorf("%w: trailing data after end of stream", ErrBinaryTrace)
+
+// fnvOffset/fnvPrime are the FNV-64a parameters; the digest is computed
+// incrementally over body bytes as they stream out, so no hashing pass
+// re-reads the file.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvSum(h uint64, p []byte) uint64 {
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h
+}
+
+// splitmix64 is the mixer behind the frame pid blooms (and the engine's
+// fate streams): two bit positions per pid in a 64-bit filter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func pidBloomBits(pid int) uint64 {
+	h := splitmix64(uint64(pid))
+	return 1<<(h&63) | 1<<((h>>6)&63)
+}
+
 // BinarySink streams spilled batches in the binary format. Create with
 // NewBinarySink, attach via NewSpillRecorder or Recorder.SetSink, and call
-// Recorder.Flush after the run (BinarySink buffers). Decode the result
-// with BinaryReader or ReadBinary.
+// Recorder.Flush after the run — Flush finalizes the stream (writes the
+// end-of-events marker, the index and the trailer), so it must come after
+// the last event. Decode the result with BinaryReader, ReadBinary, or —
+// for seeking — OpenTraceFile.
 type BinarySink struct {
+	// FrameEvents is the events-per-frame stride (0 = DefaultFrameEvents).
+	// Set before the first spill.
+	FrameEvents int
+
 	w       *bufio.Writer
 	wrote   bool
+	closed  bool
+	meta    *Meta
 	strs    map[string]uint64
 	lastT   int64
-	scratch [2 * binary.MaxVarintLen64]byte
+	enc     []byte // per-event encode buffer
+	err     error
+	off     uint64  // bytes written to the stream so far
+	digest  uint64  // FNV-64a over body bytes (events + restarts)
+	count   uint64  // events written
+	inFrame int     // events in the open frame
+	cur     Frame   // the open frame's index record
+	frames  []Frame // completed frame records
 }
 
 // NewBinarySink wraps w. The header is written lazily with the first
 // spill, so constructing a sink on a file never touched by the run leaves
 // it empty rather than header-only.
 func NewBinarySink(w io.Writer) *BinarySink {
-	return &BinarySink{w: bufio.NewWriterSize(w, 1<<16), strs: make(map[string]uint64)}
+	return &BinarySink{w: bufio.NewWriterSize(w, 1<<16), strs: make(map[string]uint64), digest: fnvOffset}
+}
+
+// SetMeta attaches the scenario fingerprint written into the stream
+// header. It must be called before the first spill; later calls panic
+// (the header is already on the wire).
+func (s *BinarySink) SetMeta(m *Meta) {
+	if s.wrote {
+		panic("trace: SetMeta after the header was written")
+	}
+	s.meta = m
+}
+
+// header writes the magic and metadata block.
+func (s *BinarySink) header() error {
+	s.wrote = true
+	var metaJSON []byte
+	if s.meta != nil {
+		b, err := json.Marshal(s.meta)
+		if err != nil {
+			return fmt.Errorf("trace: encoding metadata: %w", err)
+		}
+		metaJSON = b
+	}
+	hdr := append([]byte{}, binaryMagic[:]...)
+	hdr = binary.AppendUvarint(hdr, uint64(len(metaJSON)))
+	hdr = append(hdr, metaJSON...)
+	if _, err := s.w.Write(hdr); err != nil {
+		return err
+	}
+	s.off = uint64(len(hdr))
+	return nil
+}
+
+// writeBody writes p as body bytes: counted and digested.
+func (s *BinarySink) writeBody(p []byte) error {
+	if _, err := s.w.Write(p); err != nil {
+		return err
+	}
+	s.off += uint64(len(p))
+	s.digest = fnvSum(s.digest, p)
+	return nil
 }
 
 // Spill implements Sink.
 func (s *BinarySink) Spill(batch []Event) error {
+	if s.closed {
+		return fmt.Errorf("trace: spill after the stream was finalized")
+	}
 	if !s.wrote {
-		s.wrote = true
-		if _, err := s.w.Write(binaryMagic[:]); err != nil {
+		if err := s.header(); err != nil {
 			return err
 		}
 	}
+	stride := s.FrameEvents
+	if stride <= 0 {
+		stride = DefaultFrameEvents
+	}
 	for _, e := range batch {
-		n := binary.PutUvarint(s.scratch[:], uint64(e.Kind))
-		n += binary.PutVarint(s.scratch[n:], e.Time-s.lastT)
+		if s.inFrame == 0 {
+			s.cur = Frame{Ordinal: s.count, Start: e.Time, Offset: s.off, DigestBefore: s.digest}
+		}
+		s.enc = s.enc[:0]
+		s.enc = binary.AppendUvarint(s.enc, uint64(e.Kind))
+		s.enc = binary.AppendVarint(s.enc, e.Time-s.lastT)
 		s.lastT = e.Time
-		if _, err := s.w.Write(s.scratch[:n]); err != nil {
+		s.enc = binary.AppendUvarint(s.enc, uint64(e.PID))
+		s.enc = s.appendString(s.enc, e.MsgTag)
+		s.enc = s.appendString(s.enc, e.Detail)
+		if err := s.writeBody(s.enc); err != nil {
 			return err
 		}
-		n = binary.PutUvarint(s.scratch[:], uint64(e.PID))
-		if _, err := s.w.Write(s.scratch[:n]); err != nil {
-			return err
-		}
-		if err := s.putString(e.MsgTag); err != nil {
-			return err
-		}
-		if err := s.putString(e.Detail); err != nil {
-			return err
+		s.cur.PIDBloom |= pidBloomBits(e.PID)
+		s.count++
+		s.inFrame++
+		if s.inFrame == stride {
+			if err := s.closeFrame(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-func (s *BinarySink) putString(v string) error {
+// closeFrame records the open frame in the index and writes the restart
+// control that resets the decoder's string table and time base, making
+// the next frame self-contained.
+func (s *BinarySink) closeFrame() error {
+	s.frames = append(s.frames, s.cur)
+	s.inFrame = 0
+	s.lastT = 0
+	clear(s.strs)
+	return s.writeBody([]byte{0, controlRestart})
+}
+
+func (s *BinarySink) appendString(enc []byte, v string) []byte {
 	if v == "" {
-		return s.w.WriteByte(0)
+		return append(enc, 0)
 	}
 	if ref, ok := s.strs[v]; ok {
-		n := binary.PutUvarint(s.scratch[:], ref)
-		_, err := s.w.Write(s.scratch[:n])
-		return err
+		return binary.AppendUvarint(enc, ref)
 	}
 	ref := uint64(len(s.strs)) + 1
 	s.strs[v] = ref
-	n := binary.PutUvarint(s.scratch[:], ref)
-	n += binary.PutUvarint(s.scratch[n:], uint64(len(v)))
-	if _, err := s.w.Write(s.scratch[:n]); err != nil {
-		return err
-	}
-	_, err := s.w.WriteString(v)
-	return err
+	enc = binary.AppendUvarint(enc, ref)
+	enc = binary.AppendUvarint(enc, uint64(len(v)))
+	return append(enc, v...)
 }
 
-// Flush implements Flusher.
-func (s *BinarySink) Flush() error { return s.w.Flush() }
+// Flush implements Flusher: it finalizes the stream — end-of-events
+// control, index, trailer — and flushes the underlying writer. The first
+// call finalizes; later calls only re-flush (so Recorder.Flush stays
+// idempotent), and spilling after finalization is an error.
+func (s *BinarySink) Flush() error {
+	if s.wrote && !s.closed {
+		s.closed = true
+		if s.inFrame > 0 {
+			s.frames = append(s.frames, s.cur)
+		}
+		// The end control is body-positioned but deliberately outside the
+		// digest: digests cover event bytes, and every frame's
+		// DigestBefore precedes it anyway.
+		if _, err := s.w.Write([]byte{0, controlEnd}); err != nil {
+			return err
+		}
+		s.off += 2
+		indexOff := s.off
+		s.enc = s.enc[:0]
+		s.enc = binary.AppendUvarint(s.enc, uint64(len(s.frames)))
+		for _, f := range s.frames {
+			s.enc = binary.AppendUvarint(s.enc, f.Ordinal)
+			s.enc = binary.AppendVarint(s.enc, f.Start)
+			s.enc = binary.AppendUvarint(s.enc, f.Offset)
+			s.enc = binary.LittleEndian.AppendUint64(s.enc, f.PIDBloom)
+			s.enc = binary.LittleEndian.AppendUint64(s.enc, f.DigestBefore)
+		}
+		s.enc = binary.AppendUvarint(s.enc, s.count)
+		s.enc = binary.LittleEndian.AppendUint64(s.enc, s.digest)
+		s.enc = binary.LittleEndian.AppendUint64(s.enc, indexOff)
+		s.enc = append(s.enc, indexEndMagic[:]...)
+		if _, err := s.w.Write(s.enc); err != nil {
+			return err
+		}
+	}
+	return s.w.Flush()
+}
+
+// byteCounter counts consumed bytes so the reader can cross-check the
+// trailer's index offset and position frame errors.
+type byteCounter struct {
+	r *bufio.Reader
+	n uint64
+}
+
+func (b *byteCounter) ReadByte() (byte, error) {
+	c, err := b.r.ReadByte()
+	if err == nil {
+		b.n++
+	}
+	return c, err
+}
+
+func (b *byteCounter) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	b.n += uint64(n)
+	return n, err
+}
 
 // BinaryReader decodes a binary trace stream event by event, holding only
 // the string table — a trace of any length decodes in memory proportional
-// to its distinct tags/details, not its events.
+// to its distinct tags/details, not its events. It implements EventSource.
 type BinaryReader struct {
-	r     *bufio.Reader
-	strs  []string
-	lastT int64
+	r       *byteCounter
+	version int
+	meta    *Meta
+	index   *Index
+	strs    []string
+	lastT   int64
+	counted uint64
+	done    bool
+	// bounded marks a reader over a frame section cut out of a larger
+	// file: the section ends between events with no end-of-events marker,
+	// so a clean EOF there is the legitimate end.
+	bounded bool
 }
 
-// NewBinaryReader validates the stream header and returns a reader
-// positioned at the first event.
+var _ EventSource = (*BinaryReader)(nil)
+
+// NewBinaryReader validates the stream header (either version) and
+// returns a reader positioned at the first event.
 func NewBinaryReader(r io.Reader) (*BinaryReader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	return newBinaryReader(bufio.NewReaderSize(r, 1<<16))
+}
+
+func newBinaryReader(br *bufio.Reader) (*BinaryReader, error) {
+	d := &BinaryReader{r: &byteCounter{r: br}}
 	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
+	if _, err := io.ReadFull(d.r, magic[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			return nil, fmt.Errorf("%w: stream shorter than header", ErrBinaryTrace)
 		}
 		return nil, err
 	}
-	if magic != binaryMagic {
+	switch magic {
+	case binaryMagic:
+		d.version = 2
+	case binaryMagicV1:
+		d.version = 1
+		return d, nil
+	default:
 		if bytes.Equal(magic[:7], binaryMagic[:7]) {
 			return nil, fmt.Errorf("%w: unsupported version %d", ErrBinaryTrace, magic[7])
 		}
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBinaryTrace, magic[:])
 	}
-	return &BinaryReader{r: br}, nil
+	size, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return nil, d.corrupt("metadata length", err)
+	}
+	if size > maxBinaryString {
+		return nil, fmt.Errorf("%w: metadata length %d exceeds limit", ErrBinaryTrace, size)
+	}
+	if size > 0 {
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(d.r, buf); err != nil {
+			return nil, d.corrupt("metadata", err)
+		}
+		m := new(Meta)
+		if err := json.Unmarshal(buf, m); err != nil {
+			return nil, fmt.Errorf("%w: metadata: %v", ErrBinaryTrace, err)
+		}
+		d.meta = m
+	}
+	return d, nil
 }
 
-// Next returns the next event. It returns io.EOF at a clean end of stream;
-// a stream truncated mid-event returns an error wrapping ErrBinaryTrace.
+// Version reports the stream's format version (1 or 2).
+func (d *BinaryReader) Version() int { return d.version }
+
+// Meta returns the stream's scenario fingerprint, or nil for v1 streams
+// and v2 streams written without one.
+func (d *BinaryReader) Meta() *Meta { return d.meta }
+
+// Index returns the stream's frame index. It is available only after
+// Next returned io.EOF (the index trails the events); v1 streams and
+// frame sections have none.
+func (d *BinaryReader) Index() *Index { return d.index }
+
+// Next implements EventSource: it returns the next event, io.EOF at a
+// clean end of stream, and an error wrapping ErrBinaryTrace for any
+// corruption — truncation mid-event, an invalid kind, a v2 stream cut
+// off before its end-of-events marker, or trailing bytes after the
+// trailer (ErrTrailingData).
 func (d *BinaryReader) Next() (Event, error) {
-	kind, err := binary.ReadUvarint(d.r)
-	if err != nil {
-		if err == io.EOF {
-			return Event{}, io.EOF // clean boundary: stream ends between events
+	for {
+		if d.done {
+			return Event{}, io.EOF
 		}
-		return Event{}, d.corrupt("event kind", err)
+		kind, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			if err == io.EOF {
+				if d.version == 1 || d.bounded {
+					d.done = true
+					return Event{}, io.EOF // clean boundary between events
+				}
+				return Event{}, fmt.Errorf("%w: stream ends without an end-of-events marker", ErrBinaryTrace)
+			}
+			return Event{}, d.corrupt("event kind", err)
+		}
+		if kind == 0 && d.version >= 2 {
+			code, err := binary.ReadUvarint(d.r)
+			if err != nil {
+				return Event{}, d.corrupt("control code", err)
+			}
+			switch code {
+			case controlRestart:
+				d.strs = d.strs[:0]
+				d.lastT = 0
+				continue
+			case controlEnd:
+				d.done = true
+				if d.bounded {
+					return Event{}, io.EOF
+				}
+				if err := d.readIndexAndTrailer(); err != nil {
+					return Event{}, err
+				}
+				return Event{}, io.EOF
+			default:
+				return Event{}, fmt.Errorf("%w: unknown control code %d", ErrBinaryTrace, code)
+			}
+		}
+		if kind == 0 || kind > uint64(KindTimerDrop) {
+			return Event{}, fmt.Errorf("%w: invalid event kind %d at offset %d", ErrBinaryTrace, kind, d.r.n)
+		}
+		dt, err := binary.ReadVarint(d.r)
+		if err != nil {
+			return Event{}, d.corrupt("time delta", err)
+		}
+		d.lastT += dt
+		pid, err := binary.ReadUvarint(d.r)
+		if err != nil {
+			return Event{}, d.corrupt("pid", err)
+		}
+		tag, err := d.getString()
+		if err != nil {
+			return Event{}, d.corrupt("tag", err)
+		}
+		detail, err := d.getString()
+		if err != nil {
+			return Event{}, d.corrupt("detail", err)
+		}
+		d.counted++
+		return Event{Time: d.lastT, Kind: Kind(kind), PID: int(pid), MsgTag: tag, Detail: detail}, nil
 	}
-	dt, err := binary.ReadVarint(d.r)
+}
+
+// readIndexAndTrailer parses the index that follows the end-of-events
+// control, validates it against the events just decoded, and requires the
+// stream to end exactly at the trailer.
+func (d *BinaryReader) readIndexAndTrailer() error {
+	indexStart := d.r.n
+	ix, err := parseIndex(d.r)
 	if err != nil {
-		return Event{}, d.corrupt("time delta", err)
+		return err
 	}
-	d.lastT += dt
-	pid, err := binary.ReadUvarint(d.r)
-	if err != nil {
-		return Event{}, d.corrupt("pid", err)
+	if ix.TotalEvents != d.counted {
+		return fmt.Errorf("%w: index records %d events but the stream holds %d", ErrBinaryTrace, ix.TotalEvents, d.counted)
 	}
-	tag, err := d.getString()
-	if err != nil {
-		return Event{}, d.corrupt("tag", err)
+	var trailer [16]byte
+	if _, err := io.ReadFull(d.r, trailer[:]); err != nil {
+		return d.corrupt("trailer", err)
 	}
-	detail, err := d.getString()
-	if err != nil {
-		return Event{}, d.corrupt("detail", err)
+	if !bytes.Equal(trailer[8:], indexEndMagic[:]) {
+		return fmt.Errorf("%w: bad end magic %q", ErrBinaryTrace, trailer[8:])
 	}
-	return Event{Time: d.lastT, Kind: Kind(kind), PID: int(pid), MsgTag: tag, Detail: detail}, nil
+	if off := binary.LittleEndian.Uint64(trailer[:8]); off != indexStart {
+		return fmt.Errorf("%w: trailer points the index at offset %d, found at %d", ErrBinaryTrace, off, indexStart)
+	}
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		return ErrTrailingData
+	}
+	d.index = ix
+	return nil
 }
 
 func (d *BinaryReader) getString() (string, error) {

@@ -172,16 +172,24 @@ func TestBinaryDecodeErrors(t *testing.T) {
 		}
 	})
 	t.Run("dangling-string-ref", func(t *testing.T) {
-		// header + kind=1, dt=0, pid=0, tag ref=9 with an empty table.
-		stream := append(append([]byte{}, binaryMagic[:]...), 1, 0, 0, 9)
+		// header + empty meta + kind=1, dt=0, pid=0, tag ref=9 with an
+		// empty table.
+		stream := append(append([]byte{}, binaryMagic[:]...), 0, 1, 0, 0, 9)
 		if _, err := ReadBinary(bytes.NewReader(stream)); !errors.Is(err, ErrBinaryTrace) {
 			t.Errorf("got %v, want ErrBinaryTrace", err)
 		}
 	})
 	t.Run("oversized-string", func(t *testing.T) {
-		// header + kind=1, dt=0, pid=0, tag ref=1 (new string) with a
-		// 1 GiB length prefix (uvarint 0x80 0x80 0x80 0x80 0x04).
-		stream := append(append([]byte{}, binaryMagic[:]...), 1, 0, 0, 1, 0x80, 0x80, 0x80, 0x80, 0x04)
+		// header + empty meta + kind=1, dt=0, pid=0, tag ref=1 (new string)
+		// with a 1 GiB length prefix (uvarint 0x80 0x80 0x80 0x80 0x04).
+		stream := append(append([]byte{}, binaryMagic[:]...), 0, 1, 0, 0, 1, 0x80, 0x80, 0x80, 0x80, 0x04)
+		if _, err := ReadBinary(bytes.NewReader(stream)); !errors.Is(err, ErrBinaryTrace) {
+			t.Errorf("got %v, want ErrBinaryTrace", err)
+		}
+	})
+	t.Run("oversized-meta", func(t *testing.T) {
+		// header + a 1 GiB metadata length prefix.
+		stream := append(append([]byte{}, binaryMagic[:]...), 0x80, 0x80, 0x80, 0x80, 0x04)
 		if _, err := ReadBinary(bytes.NewReader(stream)); !errors.Is(err, ErrBinaryTrace) {
 			t.Errorf("got %v, want ErrBinaryTrace", err)
 		}

@@ -6,24 +6,34 @@ import (
 	"testing"
 )
 
-// FuzzBinaryReader pins the decoder's corruption contract: arbitrary input
-// must never panic, and every decode failure must wrap ErrBinaryTrace so
-// callers can tell corruption from I/O errors. Inputs that do decode are
-// re-encoded and decoded again — the decoder must be a left inverse of the
-// encoder on its own output.
-func FuzzBinaryReader(f *testing.F) {
-	// Seed with a valid stream, its truncations, and targeted mutations
-	// (bad magic, bad version, wild lengths) so the fuzzer starts on the
-	// format's interesting edges rather than random bytes.
-	events := []Event{
+// fuzzEvents is the event shape both the fuzz seeds and gen_corpus.go
+// encode — keep the two in sync.
+func fuzzEvents() []Event {
+	return []Event{
 		{Time: 1, Kind: KindBroadcast, PID: 0, MsgTag: "HB"},
 		{Time: 1, Kind: KindDeliver, PID: 1, MsgTag: "HB"},
 		{Time: 3, Kind: KindDrop, PID: 2, MsgTag: "HB", Detail: "sender crashed mid-broadcast"},
 		{Time: 7, Kind: KindCrash, PID: 2},
 		{Time: 9, Kind: KindTimer, PID: 0, MsgTag: "T"},
 	}
+}
+
+// FuzzBinaryReader pins the decoder's corruption contract: arbitrary input
+// must never panic, and every decode failure must wrap ErrBinaryTrace so
+// callers can tell corruption from I/O errors — through the streaming
+// reader and the random-access opener alike. Inputs that do decode are
+// re-encoded and decoded again — the decoder must be a left inverse of the
+// encoder on its own output.
+func FuzzBinaryReader(f *testing.F) {
+	// Seed with valid v2 and v1 streams, their truncations, and targeted
+	// mutations (bad magic, bad version, wild lengths, corrupt index and
+	// metadata, trailing bytes) so the fuzzer starts on the format's
+	// interesting edges rather than random bytes.
+	events := fuzzEvents()
 	var buf bytes.Buffer
 	sink := NewBinarySink(&buf)
+	sink.FrameEvents = 2 // several frames from five events
+	sink.SetMeta(&Meta{Algo: "fig8", N: 3, L: 2, Seed: 1})
 	if err := sink.Spill(events); err != nil {
 		f.Fatal(err)
 	}
@@ -47,8 +57,35 @@ func FuzzBinaryReader(f *testing.F) {
 		wildLen[i] = 0xff
 	}
 	f.Add(wildLen)
+	// v2-specific edges: body intact, index/trailer corrupted; metadata
+	// cut mid-JSON; bytes after the trailer; v1 with and without garbage.
+	corruptIndex := bytes.Clone(valid)
+	for i := len(corruptIndex) - 40; i < len(corruptIndex)-16; i++ {
+		corruptIndex[i] ^= 0x55
+	}
+	f.Add(corruptIndex)
+	f.Add(valid[:12]) // magic + truncated metadata
+	f.Add(append(bytes.Clone(valid), 0x00))
+	v1 := encodeV1(events)
+	f.Add(v1)
+	f.Add(append(bytes.Clone(v1), 0, 0, 0, 0, 0))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Random access must uphold the same contract on the same bytes.
+		if tf, err := OpenTraceFile(bytes.NewReader(data), int64(len(data))); err == nil {
+			for i := range tf.Index().Frames {
+				fr, err := tf.OpenFrame(i)
+				if err != nil {
+					t.Fatalf("OpenFrame(%d): %v", i, err)
+				}
+				if err := Drain(fr, func(Event) error { return nil }); err != nil && !errors.Is(err, ErrBinaryTrace) {
+					t.Fatalf("frame %d decode error does not wrap ErrBinaryTrace: %v", i, err)
+				}
+			}
+		} else if !errors.Is(err, ErrBinaryTrace) {
+			t.Fatalf("OpenTraceFile error does not wrap ErrBinaryTrace: %v", err)
+		}
+
 		decoded, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {
 			if !errors.Is(err, ErrBinaryTrace) {

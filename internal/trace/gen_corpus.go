@@ -5,13 +5,15 @@
 //	go run gen_corpus.go
 //
 // writes testdata/fuzz/FuzzBinaryReader/seed-* in the go-fuzz corpus file
-// format. The seeds mirror the f.Add cases (a valid stream, truncations,
-// and targeted header/length mutations) so `go test -run Fuzz` — the CI
-// smoke — exercises them without a fuzzing engine.
+// format. The seeds mirror the f.Add cases (valid v2 and v1 streams,
+// truncations, and targeted header/index/trailer mutations) so
+// `go test -run Fuzz` — the CI smoke — exercises them without a fuzzing
+// engine.
 package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"log"
 	"os"
@@ -20,6 +22,38 @@ import (
 
 	"repro/internal/trace"
 )
+
+// encodeV1 hand-builds a version-1 stream (the old writer is gone; this
+// mirrors index_test.go's helper of the same name).
+func encodeV1(events []trace.Event) []byte {
+	out := []byte{'H', 'D', 'T', 'R', 'A', 'C', 'E', 1}
+	strs := map[string]uint64{}
+	putStr := func(v string) {
+		if v == "" {
+			out = append(out, 0)
+			return
+		}
+		if ref, ok := strs[v]; ok {
+			out = binary.AppendUvarint(out, ref)
+			return
+		}
+		ref := uint64(len(strs)) + 1
+		strs[v] = ref
+		out = binary.AppendUvarint(out, ref)
+		out = binary.AppendUvarint(out, uint64(len(v)))
+		out = append(out, v...)
+	}
+	var lastT int64
+	for _, e := range events {
+		out = binary.AppendUvarint(out, uint64(e.Kind))
+		out = binary.AppendVarint(out, e.Time-lastT)
+		lastT = e.Time
+		out = binary.AppendUvarint(out, uint64(e.PID))
+		putStr(e.MsgTag)
+		putStr(e.Detail)
+	}
+	return out
+}
 
 func main() {
 	events := []trace.Event{
@@ -31,6 +65,8 @@ func main() {
 	}
 	var buf bytes.Buffer
 	sink := trace.NewBinarySink(&buf)
+	sink.FrameEvents = 2 // several frames from five events
+	sink.SetMeta(&trace.Meta{Algo: "fig8", N: 3, L: 2, Seed: 1})
 	if err := sink.Spill(events); err != nil {
 		log.Fatal(err)
 	}
@@ -47,15 +83,25 @@ func main() {
 	for i := 8; i < len(wildLen); i++ {
 		wildLen[i] = 0xff
 	}
+	corruptIndex := bytes.Clone(valid)
+	for i := len(corruptIndex) - 40; i < len(corruptIndex)-16; i++ {
+		corruptIndex[i] ^= 0x55
+	}
+	v1 := encodeV1(events)
 
 	seeds := map[string][]byte{
-		"seed-valid":       valid,
-		"seed-truncated":   valid[:len(valid)/2],
-		"seed-header-only": valid[:8],
-		"seed-empty":       {},
-		"seed-bad-magic":   badMagic,
-		"seed-bad-version": badVersion,
-		"seed-wild-len":    wildLen,
+		"seed-valid":         valid,
+		"seed-truncated":     valid[:len(valid)/2],
+		"seed-header-only":   valid[:8],
+		"seed-empty":         {},
+		"seed-bad-magic":     badMagic,
+		"seed-bad-version":   badVersion,
+		"seed-wild-len":      wildLen,
+		"seed-corrupt-index": corruptIndex,
+		"seed-meta-cut":      valid[:12],
+		"seed-trailing-byte": append(bytes.Clone(valid), 0x00),
+		"seed-v1":            v1,
+		"seed-v1-garbage":    append(bytes.Clone(v1), 0, 0, 0, 0, 0),
 	}
 	dir := filepath.Join("testdata", "fuzz", "FuzzBinaryReader")
 	if err := os.MkdirAll(dir, 0o755); err != nil {

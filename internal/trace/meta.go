@@ -1,0 +1,49 @@
+package trace
+
+// Meta is the scenario fingerprint a v2 binary trace carries in its
+// header: everything needed to rebuild the run's configuration — and
+// therefore its ground truth, proposals and checkers — from the trace
+// file alone. Fields mirror the hdsim flag surface verbatim (specs stay
+// in their flag syntax, e.g. Net "psync:60:3", Churn "0.2:1:20:30"),
+// so replay resolves them through exactly the parsers and defaulting
+// rules the live run used; anything structured would have to duplicate
+// those rules and could drift.
+//
+// The block is encoded as JSON: self-describing, so future fields are
+// backward-compatible (unknown fields are ignored on decode), and
+// deterministic (encoding/json emits struct fields in declaration
+// order, keeping byte-identity contracts intact).
+type Meta struct {
+	// Algo names the workload: fig8, fig9, fig9-anon, ohp, heartbeat.
+	Algo string `json:"algo"`
+	// N and L are the population size and distinct-identifier count of
+	// the balanced assignment BalancedIDs(N, L).
+	N int `json:"n"`
+	L int `json:"l"`
+	// T is the Fig. 8 crash budget (0 otherwise).
+	T int `json:"t,omitempty"`
+	// Crashes, Churn, Net and Partitions are the flag-syntax scenario
+	// specs ("" = flag absent, scenario default applies).
+	Crashes    string `json:"crashes,omitempty"`
+	Churn      string `json:"churn,omitempty"`
+	Net        string `json:"net,omitempty"`
+	Partitions string `json:"partitions,omitempty"`
+	// GST and Delta are the -gst/-delta fallback network parameters,
+	// consulted only when Net is empty.
+	GST   int64 `json:"gst,omitempty"`
+	Delta int64 `json:"delta,omitempty"`
+	Seed  int64 `json:"seed"`
+	// Stabilize, Adversary and Detectors configure the detector layer
+	// (consensus algorithms only).
+	Stabilize int64  `json:"stabilize,omitempty"`
+	Adversary string `json:"adversary,omitempty"`
+	Detectors string `json:"detectors,omitempty"`
+	// Horizon is the -horizon flag value verbatim (0 = per-algorithm
+	// default, which replay resolves with the same rules as the driver).
+	Horizon int64 `json:"horizon,omitempty"`
+	// Period and Beaters are the heartbeat workload parameters.
+	Period  int64 `json:"period,omitempty"`
+	Beaters int   `json:"beaters,omitempty"`
+	// MaxEvents overrides the engine's runaway guard (0 = default).
+	MaxEvents int `json:"maxEvents,omitempty"`
+}

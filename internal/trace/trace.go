@@ -120,13 +120,25 @@ type Recorder struct {
 	decisions  atomic.Int64
 	byTag      sync.Map // string -> *atomic.Int64
 
-	mu      sync.Mutex
-	buf     []Event   // staging buffer, cap = BufSize
-	chunks  [][]Event // spilled batches (in-memory mode)
-	sink    Sink      // spill target (streaming mode), nil = in-memory
-	spilled int       // events handed to the sink so far
-	err     error     // first sink error
+	mu       sync.Mutex
+	buf      []Event   // staging buffer, cap = BufSize
+	chunks   [][]Event // spilled batches (in-memory mode)
+	sink     Sink      // spill target (streaming mode), nil = in-memory
+	spilled  int       // events handed to the sink so far
+	recorded int       // events retained so far (skew canary ordinal)
+	err      error     // first sink error
 }
+
+// skewCanary, when set via the linker
+// (-ldflags "-X repro/internal/trace.skewCanary=skew"), perturbs the
+// detail of exactly one retained event (ordinal skewEventOrdinal). It
+// exists so CI can plant a single-event determinism regression and
+// require cmd/tracediff to localize it — the trace-layer analogue of
+// internal/core's wedgeCanary. It must never be set in production builds.
+var skewCanary string
+
+// skewEventOrdinal is the retained-event ordinal the canary perturbs.
+const skewEventOrdinal = 100
 
 // NewRecorder returns a recorder that retains full event lists in memory.
 func NewRecorder() *Recorder {
@@ -192,6 +204,10 @@ func (r *Recorder) Record(e Event) {
 		return
 	}
 	r.mu.Lock()
+	if skewCanary != "" && r.recorded == skewEventOrdinal {
+		e.Detail += " [" + skewCanary + "]"
+	}
+	r.recorded++
 	if r.buf == nil {
 		size := r.BufSize
 		if size <= 0 {
